@@ -1,0 +1,14 @@
+//! Criterion bench for the design-parameter ablation sweeps.
+
+use anna_bench::ablation;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn ablation_sweeps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.bench_function("all_parameter_sweeps", |b| b.iter(|| ablation::run(64)));
+    group.finish();
+}
+
+criterion_group!(benches, ablation_sweeps);
+criterion_main!(benches);

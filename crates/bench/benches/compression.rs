@@ -1,0 +1,30 @@
+//! Criterion bench for the compression sweep (index build + recall at one
+//! ratio on a reduced profile).
+
+use anna_bench::{compression, Scale};
+use anna_data::PaperDataset;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn compression_sweep(c: &mut Criterion) {
+    let scale = Scale {
+        db_n: 2000,
+        num_queries: 8,
+        num_clusters: 8,
+        recall_x: 5,
+        recall_y: 50,
+        scaled_w: vec![1, 2],
+        paper_w: vec![16, 32],
+        batch: 64,
+        train_iters: 2,
+        seed: 1,
+    };
+    let mut group = c.benchmark_group("compression");
+    group.sample_size(10);
+    group.bench_function("deep1b_sweep", |b| {
+        b.iter(|| compression::run_for(PaperDataset::Deep1B, &scale))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, compression_sweep);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Microbenchmark comparing the three timing engines' own runtimes (the
+//! cost of simulation, not of ANNA): analytic is O(W), event-driven is
+//! O(rounds), cycle-stepped is O(simulated cycles).
+
+use anna_core::engine::{analytic, cycle, stepped};
+use anna_core::{AnnaConfig, QueryWorkload, SearchShape};
+use anna_vector::Metric;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn workload(w: usize, size: usize) -> QueryWorkload {
+    QueryWorkload {
+        shape: SearchShape {
+            d: 128,
+            m: 64,
+            kstar: 256,
+            metric: Metric::L2,
+            num_clusters: 10_000,
+            k: 1000,
+        },
+        visited_cluster_sizes: vec![size; w],
+    }
+}
+
+fn engine_costs(c: &mut Criterion) {
+    let cfg = AnnaConfig::paper();
+    let q = workload(16, 20_000);
+    let mut group = c.benchmark_group("engines");
+    group.bench_function("analytic", |b| {
+        b.iter(|| analytic::single_query(&cfg, &q, 16))
+    });
+    group.bench_function("event_driven", |b| {
+        b.iter(|| cycle::single_query(&cfg, &q, 16))
+    });
+    group.sample_size(10);
+    group.bench_function("cycle_stepped", |b| {
+        b.iter(|| stepped::single_query(&cfg, &q, 16))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, engine_costs);
+criterion_main!(benches);

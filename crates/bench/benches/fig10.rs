@@ -1,0 +1,24 @@
+//! Criterion bench for the Figure 10 energy pipeline: batch timing plus
+//! activity-based energy accounting.
+
+use anna_bench::ablation;
+use anna_core::{engine::analytic, AnnaConfig, AreaPowerModel, ScmAllocation};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn fig10_energy(c: &mut Criterion) {
+    let cfg = AnnaConfig::paper();
+    let model = AreaPowerModel::paper();
+    let workload = ablation::reference_workload(128, 7);
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(20);
+    group.bench_function("batch_timing_plus_energy", |b| {
+        b.iter(|| {
+            let r = analytic::batch(&cfg, &workload, ScmAllocation::Auto);
+            model.energy_per_query_joules(&cfg, &r)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig10_energy);
+criterion_main!(benches);

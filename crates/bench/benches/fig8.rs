@@ -1,0 +1,37 @@
+//! Criterion bench for the Figure 8 pipeline: times one full plot
+//! (recall sweep + paper-scale timing) on a reduced profile.
+
+use anna_bench::{fig8, Scale};
+use anna_data::PaperDataset;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_scale() -> Scale {
+    Scale {
+        db_n: 2000,
+        num_queries: 8,
+        num_clusters: 8,
+        recall_x: 5,
+        recall_y: 50,
+        scaled_w: vec![1, 2, 4],
+        paper_w: vec![16, 32, 64],
+        batch: 128,
+        train_iters: 2,
+        seed: 1,
+    }
+}
+
+fn fig8_plot(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    group.bench_function("sift1b_4to1_plot", |b| {
+        b.iter(|| fig8::run_one(PaperDataset::Sift1B, 4, &scale))
+    });
+    group.bench_function("glove_4to1_plot", |b| {
+        b.iter(|| fig8::run_one(PaperDataset::Glove1M, 4, &scale))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig8_plot);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench for the Figure 9 latency models: times the analytic
+//! single-query engine over a paper-scale workload.
+
+use anna_core::{engine::analytic, engine::cycle, AnnaConfig, QueryWorkload, SearchShape};
+use anna_vector::Metric;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn workload() -> QueryWorkload {
+    QueryWorkload {
+        shape: SearchShape {
+            d: 128,
+            m: 64,
+            kstar: 256,
+            metric: Metric::L2,
+            num_clusters: 10_000,
+            k: 1000,
+        },
+        visited_cluster_sizes: vec![100_000; 32],
+    }
+}
+
+fn fig9_latency(c: &mut Criterion) {
+    let cfg = AnnaConfig::paper();
+    let q = workload();
+    let mut group = c.benchmark_group("fig9");
+    group.bench_function("analytic_single_query", |b| {
+        b.iter(|| analytic::single_query(&cfg, &q, 16))
+    });
+    group.bench_function("cycle_single_query", |b| {
+        b.iter(|| cycle::single_query(&cfg, &q, 16))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig9_latency);
+criterion_main!(benches);

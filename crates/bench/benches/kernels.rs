@@ -1,0 +1,47 @@
+//! Microbenchmarks of the software substrate the CPU baseline is built
+//! from: the u4/u8 ADC scan kernels and LUT construction. These are the
+//! measured counterparts of `anna_baseline::cpu::calibrate`.
+
+use anna_index::{kernels, Lut, LutPrecision};
+use anna_quant::pq::{PqCodebook, PqConfig};
+use anna_vector::{TopK, VectorSet};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn scan_kernels(c: &mut Criterion) {
+    let n = 8192usize;
+    let m = 16usize;
+    let dim = m * 2;
+    let data = VectorSet::from_fn(dim, n, |r, col| ((r * 31 + col * 7) % 23) as f32);
+    let q: Vec<f32> = (0..dim).map(|i| (i % 5) as f32).collect();
+
+    let mut group = c.benchmark_group("kernels");
+    group.throughput(Throughput::Elements(n as u64));
+    for kstar in [16usize, 256] {
+        let book = PqCodebook::train(
+            &data,
+            &PqConfig {
+                m,
+                kstar,
+                iters: 3,
+                seed: 0,
+            },
+        );
+        let codes = book.encode_all(&data);
+        let ids: Vec<u64> = (0..n as u64).collect();
+        let lut = Lut::build_ip(&q, &book, LutPrecision::F32);
+        group.bench_function(format!("scan_k{kstar}"), |b| {
+            b.iter(|| {
+                let mut top = TopK::new(100);
+                kernels::scan(&codes, &ids, &lut, &mut top);
+                top
+            })
+        });
+        group.bench_function(format!("lut_build_k{kstar}"), |b| {
+            b.iter(|| Lut::build_ip(&q, &book, LutPrecision::F32))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scan_kernels);
+criterion_main!(benches);

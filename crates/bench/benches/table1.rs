@@ -1,0 +1,21 @@
+//! Criterion bench for the Table I model (trivially fast; exists so every
+//! table has a bench target).
+
+use anna_core::AreaPowerModel;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn table1_model(c: &mut Criterion) {
+    c.bench_function("table1_area_power_totals", |b| {
+        b.iter(|| {
+            let m = AreaPowerModel::paper();
+            (
+                m.total_area_mm2(),
+                m.total_peak_power_w(),
+                m.scaled_area_mm2(12),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, table1_model);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench for the Section V-B comparison: optimized batch vs
+//! sequential single-query execution on a paper-scale workload.
+
+use anna_bench::ablation;
+use anna_core::{engine::analytic, AnnaConfig, QueryWorkload, ScmAllocation};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn traffic_opt(c: &mut Criterion) {
+    let cfg = AnnaConfig::paper();
+    let workload = ablation::reference_workload(128, 11);
+    let singles: Vec<QueryWorkload> = workload
+        .visits
+        .iter()
+        .map(|v| QueryWorkload {
+            shape: workload.shape,
+            visited_cluster_sizes: v.iter().map(|&c| workload.cluster_sizes[c]).collect(),
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("traffic_opt");
+    group.sample_size(20);
+    group.bench_function("optimized_batch", |b| {
+        b.iter(|| analytic::batch(&cfg, &workload, ScmAllocation::Auto))
+    });
+    group.bench_function("sequential_baseline", |b| {
+        b.iter(|| analytic::sequential_queries(&cfg, &singles, cfg.n_scm))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, traffic_opt);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Design-parameter ablation sweeps (N_u, N_cu, N_SCM, bandwidth, SCM
+//! allocation).
+
+use anna_bench::{ablation, write_report};
+
+fn main() {
+    let batch = if std::env::args().any(|a| a == "--full") {
+        1000
+    } else {
+        256
+    };
+    let a = ablation::run(batch);
+    print!("{}", a.render());
+    match write_report("ablation", &a.to_json()) {
+        Ok(path) => eprintln!("report written to {}", path.display()),
+        Err(e) => eprintln!("could not write report: {e}"),
+    }
+}

@@ -1,0 +1,14 @@
+//! Compression-ratio sweep (the Section V-B 16:1 text claim).
+
+use anna_bench::{compression, write_report, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("running compression sweep with {scale:?}");
+    let c = compression::run(&scale);
+    print!("{}", c.render());
+    match write_report("compression", &c.to_json()) {
+        Ok(path) => eprintln!("report written to {}", path.display()),
+        Err(e) => eprintln!("could not write report: {e}"),
+    }
+}

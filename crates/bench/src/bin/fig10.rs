@@ -1,0 +1,14 @@
+//! Regenerates Figure 10 (normalized energy efficiency, 4:1, W=32).
+
+use anna_bench::{fig10, write_report, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("running Figure 10 with {scale:?}");
+    let fig = fig10::run(&scale);
+    print!("{}", fig.render());
+    match write_report("fig10", &fig.to_json()) {
+        Ok(path) => eprintln!("report written to {}", path.display()),
+        Err(e) => eprintln!("could not write report: {e}"),
+    }
+}

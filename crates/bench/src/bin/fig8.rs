@@ -1,0 +1,15 @@
+//! Regenerates Figure 8 (throughput vs recall, all datasets and
+//! compression ratios). `--full` for the full-scale profile.
+
+use anna_bench::{fig8, write_report, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("running Figure 8 with {scale:?}");
+    let fig = fig8::run(&scale);
+    print!("{}", fig.render());
+    match write_report("fig8", &fig.to_json()) {
+        Ok(path) => eprintln!("report written to {}", path.display()),
+        Err(e) => eprintln!("could not write report: {e}"),
+    }
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 9 (single-query latency, 4:1 compression).
+
+use anna_bench::{fig9, write_report, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("running Figure 9 with {scale:?}");
+    let fig = fig9::run(&scale);
+    print!("{}", fig.render());
+    match write_report("fig9", &fig.to_json()) {
+        Ok(path) => eprintln!("report written to {}", path.display()),
+        Err(e) => eprintln!("could not write report: {e}"),
+    }
+}

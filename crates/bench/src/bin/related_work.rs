@@ -1,0 +1,12 @@
+//! Section VI related-work comparison points.
+
+use anna_bench::{related, write_report};
+
+fn main() {
+    let r = related::run();
+    print!("{}", r.render());
+    match write_report("related_work", &r.to_json()) {
+        Ok(path) => eprintln!("report written to {}", path.display()),
+        Err(e) => eprintln!("could not write report: {e}"),
+    }
+}

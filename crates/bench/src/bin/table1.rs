@@ -1,0 +1,11 @@
+//! Prints Table I (area and peak power of ANNA's modules).
+
+use anna_bench::{table1, write_report};
+
+fn main() {
+    print!("{}", table1::render());
+    match write_report("table1", &table1::to_json()) {
+        Ok(path) => eprintln!("report written to {}", path.display()),
+        Err(e) => eprintln!("could not write report: {e}"),
+    }
+}

@@ -1,0 +1,14 @@
+//! Renders the Figure 7 execution timeline from the event-driven engine.
+
+use anna_bench::{timeline, write_report};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let (batch, w) = if full { (1000, 32) } else { (128, 8) };
+    let t = timeline::run(batch, w, 7);
+    print!("{}", t.render(8));
+    match write_report("timeline", &t.to_json()) {
+        Ok(path) => eprintln!("report written to {}", path.display()),
+        Err(e) => eprintln!("could not write report: {e}"),
+    }
+}

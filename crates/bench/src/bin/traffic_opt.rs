@@ -1,0 +1,14 @@
+//! Regenerates the Section V-B memory-traffic-optimization comparison.
+
+use anna_bench::{traffic_opt, write_report, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("running traffic-optimization comparison with {scale:?}");
+    let t = traffic_opt::run(&scale);
+    print!("{}", t.render());
+    match write_report("traffic_opt", &t.to_json()) {
+        Ok(path) => eprintln!("report written to {}", path.display()),
+        Err(e) => eprintln!("could not write report: {e}"),
+    }
+}

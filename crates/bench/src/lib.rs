@@ -1,0 +1,40 @@
+//! Experiment harness for the ANNA reproduction: one module (and one
+//! runnable binary, and one criterion bench) per table/figure of the
+//! paper's evaluation.
+//!
+//! | Target | Paper artifact |
+//! |---|---|
+//! | [`fig8`] / `--bin fig8` | Figure 8: throughput vs recall, 6 datasets × {4:1, 8:1} |
+//! | [`fig9`] / `--bin fig9` | Figure 9: single-query latency (4:1) |
+//! | [`fig10`] / `--bin fig10` | Figure 10: normalized energy efficiency (4:1, W=32) |
+//! | [`table1`] / `--bin table1` | Table I: per-module area and peak power |
+//! | [`traffic_opt`] / `--bin traffic_opt` | §V-B memory-traffic-optimization speedups |
+//! | [`ablation`] / `--bin ablation` | design-parameter sweeps (DESIGN.md ablations) |
+//! | [`compression`] / `--bin compression` | §V-B 16:1 recall-collapse text claim |
+//! | [`timeline`] / `--bin timeline` | Figure 7: steady-state execution timeline |
+//! | [`related`] / `--bin related_work` | §VI comparison points |
+//! | `--bin calibrate` | host kernel-rate measurement for the CPU model |
+//! | `--bin runall` | everything above, writing `reports/*.json` |
+//!
+//! Binaries accept `--full` for the full-scale profile (see
+//! [`scale::Scale`]); the default quick profile finishes in seconds per
+//! figure. Run with `--release`.
+
+#![deny(missing_docs)]
+
+pub mod ablation;
+pub mod compression;
+pub mod configs;
+pub mod fig10;
+pub mod fig8;
+pub mod fig9;
+pub mod harness;
+pub mod json;
+pub mod related;
+pub mod scale;
+pub mod table1;
+pub mod timeline;
+pub mod traffic_opt;
+
+pub use harness::{run_plot, write_report, Plot, Series, SeriesPoint};
+pub use scale::Scale;

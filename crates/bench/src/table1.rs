@@ -1,0 +1,85 @@
+//! Table I: area and peak power of ANNA's modules.
+
+use anna_core::AreaPowerModel;
+
+use crate::json::Json;
+
+/// Renders Table I from the area/power model.
+pub fn render() -> String {
+    let m = AreaPowerModel::paper();
+    let mut s = String::from("\n=== Table I: area and (peak) power of ANNA ===\n");
+    s.push_str(&format!(
+        "{:<40} {:>10} {:>10}\n",
+        "Module Name", "Area(mm^2)", "PeakPwr(W)"
+    ));
+    for b in [&m.cpm, &m.efm, &m.scm_total, &m.mai] {
+        s.push_str(&format!(
+            "{:<40} {:>10.2} {:>10.3}\n",
+            b.name, b.area_mm2, b.peak_power_w
+        ));
+    }
+    s.push_str(&format!(
+        "{:<40} {:>10.2} {:>10.3}\n",
+        "ANNA Accelerator",
+        m.total_area_mm2(),
+        m.total_peak_power_w()
+    ));
+    s.push_str(&format!(
+        "{:<40} {:>10.2} {:>10.3}\n",
+        "ANNA Accelerators (12x)",
+        m.scaled_area_mm2(12),
+        m.scaled_peak_power_w(12)
+    ));
+    s.push_str(&format!(
+        "\nCPU die {:.1} mm^2 (14nm, {:.0}x larger raw), GPU die {:.0} mm^2 (12nm, {:.0}x larger raw)\n",
+        anna_core::energy::reference::CPU_DIE_MM2,
+        anna_core::energy::reference::CPU_DIE_MM2 / m.total_area_mm2(),
+        anna_core::energy::reference::GPU_DIE_MM2,
+        anna_core::energy::reference::GPU_DIE_MM2 / m.total_area_mm2(),
+    ));
+    s
+}
+
+/// JSON report for Table I.
+pub fn to_json() -> Json {
+    let m = AreaPowerModel::paper();
+    let row = |b: &anna_core::energy::ModuleBudget| {
+        Json::obj()
+            .set("name", b.name)
+            .set("area_mm2", b.area_mm2)
+            .set("peak_power_w", b.peak_power_w)
+    };
+    Json::obj()
+        .set(
+            "modules",
+            Json::Arr(vec![
+                row(&m.cpm),
+                row(&m.efm),
+                row(&m.scm_total),
+                row(&m.mai),
+            ]),
+        )
+        .set("total_area_mm2", m.total_area_mm2())
+        .set("total_peak_power_w", m.total_peak_power_w())
+        .set("x12_area_mm2", m.scaled_area_mm2(12))
+        .set("x12_peak_power_w", m.scaled_peak_power_w(12))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn render_contains_paper_totals() {
+        let s = super::render();
+        assert!(s.contains("17.51"));
+        assert!(s.contains("5.398"));
+        assert!(s.contains("210.12"));
+        assert!(s.contains("64.776"));
+    }
+
+    #[test]
+    fn json_has_four_modules() {
+        let j = super::to_json().to_string();
+        assert!(j.contains("Memory Access Interface"));
+        assert!(j.contains("\"total_area_mm2\":17.51"));
+    }
+}

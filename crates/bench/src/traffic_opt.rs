@@ -1,0 +1,191 @@
+//! Section V-B, "Impact of ANNA Memory Traffic Optimization": throughput
+//! of ANNA with the cluster-major batched schedule versus ANNA processing
+//! queries one at a time.
+//!
+//! The paper reports average speedups of 5.1×/5.0×/6.9× for
+//! ScaNN16/Faiss16/Faiss256 at 4:1 compression and 3.9×/3.9×/4.6× at 8:1
+//! ("the speedup is greater on the 4:1 compression ratio cases since the
+//! performance in those scenarios is more memory bandwidth-bound").
+
+use anna_core::{engine::analytic, AnnaConfig, QueryWorkload, ScmAllocation};
+use anna_data::PaperDataset;
+use serde::{Deserialize, Serialize};
+
+use crate::configs::SearchConfig;
+use crate::harness::PlotContext;
+use crate::json::Json;
+use crate::scale::Scale;
+
+/// Speedup of the optimized schedule for one (config, compression) cell,
+/// averaged (geomean) across datasets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpeedupRow {
+    /// Configuration label.
+    pub config: String,
+    /// Compression ratio.
+    pub compression: u32,
+    /// Geomean speedup across datasets.
+    pub speedup: f64,
+    /// Geomean code-traffic reduction across datasets.
+    pub traffic_reduction: f64,
+}
+
+/// The Section V-B comparison result.
+#[derive(Debug, Clone)]
+pub struct TrafficOpt {
+    /// One row per (config, compression).
+    pub rows: Vec<SpeedupRow>,
+}
+
+/// Runs the comparison across the billion-scale datasets (where the
+/// optimization matters most).
+pub fn run(scale: &Scale) -> TrafficOpt {
+    run_for(
+        &[
+            PaperDataset::Sift1B,
+            PaperDataset::Deep1B,
+            PaperDataset::Tti1B,
+        ],
+        scale,
+    )
+}
+
+/// Runs the comparison for the three CPU-family configurations at both
+/// compression ratios over the given datasets, at `W = 32`.
+pub fn run_for(datasets: &[PaperDataset], scale: &Scale) -> TrafficOpt {
+    let w_paper = 32;
+    let mut rows = Vec::new();
+    for compression in [4u32, 8] {
+        for cfg in &SearchConfig::ALL[..3] {
+            let mut log_speedup = 0.0f64;
+            let mut log_traffic = 0.0f64;
+            for &dataset in datasets {
+                let ctx = PlotContext::build(dataset, compression, scale);
+                let workload = ctx.paper_workload(cfg, w_paper);
+                let hw = AnnaConfig::paper();
+                let opt = analytic::batch(&hw, &workload, ScmAllocation::Auto);
+
+                let singles: Vec<QueryWorkload> = workload
+                    .visits
+                    .iter()
+                    .map(|v| QueryWorkload {
+                        shape: workload.shape,
+                        visited_cluster_sizes: v
+                            .iter()
+                            .map(|&c| workload.cluster_sizes[c])
+                            .collect(),
+                    })
+                    .collect();
+                let base = analytic::sequential_queries(&hw, &singles, hw.n_scm);
+
+                log_speedup += (opt.qps(&hw) / base.qps(&hw)).ln();
+                log_traffic +=
+                    (base.traffic.code_bytes as f64 / opt.traffic.code_bytes.max(1) as f64).ln();
+            }
+            rows.push(SpeedupRow {
+                config: cfg.sw_name.replace(" (CPU)", "").to_string(),
+                compression,
+                speedup: (log_speedup / datasets.len() as f64).exp(),
+                traffic_reduction: (log_traffic / datasets.len() as f64).exp(),
+            });
+        }
+    }
+    TrafficOpt { rows }
+}
+
+impl TrafficOpt {
+    /// JSON report.
+    pub fn to_json(&self) -> Json {
+        Json::obj().set(
+            "rows",
+            Json::Arr(
+                self.rows
+                    .iter()
+                    .map(|r| {
+                        Json::obj()
+                            .set("config", r.config.clone())
+                            .set("compression", r.compression)
+                            .set("speedup", r.speedup)
+                            .set("traffic_reduction", r.traffic_reduction)
+                    })
+                    .collect(),
+            ),
+        )
+    }
+
+    /// Text rendering against the paper's reported numbers.
+    pub fn render(&self) -> String {
+        let paper: &[(&str, u32, f64)] = &[
+            ("ScaNN16", 4, 5.1),
+            ("Faiss16", 4, 5.0),
+            ("Faiss256", 4, 6.9),
+            ("ScaNN16", 8, 3.9),
+            ("Faiss16", 8, 3.9),
+            ("Faiss256", 8, 4.6),
+        ];
+        let mut s = String::from(
+            "\n=== Section V-B: memory traffic optimization speedup (B=1000, W=32) ===\n",
+        );
+        s.push_str(&format!(
+            "{:<12} {:>6} {:>12} {:>12} {:>10}\n",
+            "config", "comp", "measured", "traffic-red", "paper"
+        ));
+        for r in &self.rows {
+            let p = paper
+                .iter()
+                .find(|(n, c, _)| *n == r.config && *c == r.compression)
+                .map(|(_, _, v)| *v)
+                .unwrap_or(f64::NAN);
+            s.push_str(&format!(
+                "{:<12} {:>5}:1 {:>11.1}x {:>11.1}x {:>9.1}x\n",
+                r.config, r.compression, r.speedup, r.traffic_reduction, p
+            ));
+        }
+        s
+    }
+
+    /// Mean speedup at a compression ratio.
+    pub fn mean_speedup(&self, compression: u32) -> f64 {
+        let vals: Vec<f64> = self
+            .rows
+            .iter()
+            .filter(|r| r.compression == compression)
+            .map(|r| r.speedup)
+            .collect();
+        vals.iter().sum::<f64>() / vals.len().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimization_speeds_up_and_4to1_beats_8to1() {
+        let mut scale = Scale::quick();
+        scale.db_n = 3000;
+        scale.num_queries = 8;
+        scale.num_clusters = 12;
+        scale.train_iters = 2;
+        scale.batch = 256;
+        let t = run_for(&[PaperDataset::Sift1B], &scale);
+        assert_eq!(t.rows.len(), 6);
+        for r in &t.rows {
+            assert!(
+                r.speedup > 1.5,
+                "{} {}:1 speedup {} too small",
+                r.config,
+                r.compression,
+                r.speedup
+            );
+            assert!(r.traffic_reduction > 1.0);
+        }
+        // Paper: more memory-bound 4:1 benefits more than 8:1.
+        assert!(
+            t.mean_speedup(4) > t.mean_speedup(8),
+            "4:1 ({}) should benefit more than 8:1 ({})",
+            t.mean_speedup(4),
+            t.mean_speedup(8)
+        );
+    }
+}

@@ -1,0 +1,270 @@
+//! Batch scheduling for the memory-traffic optimization (Section IV).
+//!
+//! After cluster filtering, the optimized schedule processes clusters in
+//! series; each cluster's codes are fetched once and scored against every
+//! query visiting it. With `N_SCM` similarity-computation modules, each
+//! *round* runs up to `N_SCM / g` queries in parallel, where `g` is the
+//! number of SCMs allocated per query:
+//!
+//! * `g = 1` (**inter-query**): each SCM runs a different query over the
+//!   full cluster (the EFM broadcasts the same codes to all SCMs).
+//! * `g > 1` (**intra-query**): a query's cluster scan is split over `g`
+//!   SCMs, each scanning `|C_i|/g` codes with its own partial top-k unit
+//!   (merged at the end). Lower latency, more top-k spill traffic.
+//!
+//! The paper's guidance: expect `B·|W|/|C|` queries per cluster and size
+//! `g = N_SCM / expected` ("for ANNA with 16 SCMs, we allocate four SCMs to
+//! a single query" when 4 queries are expected per cluster).
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::AnnaConfig;
+use crate::timing::BatchWorkload;
+
+/// How SCMs are assigned to queries within a round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScmAllocation {
+    /// One SCM per query; `N_SCM` queries per round.
+    InterQuery,
+    /// `scm_per_query` SCMs per query; `N_SCM / scm_per_query` queries per
+    /// round.
+    IntraQuery {
+        /// SCMs allocated to each query (must divide `N_SCM`).
+        scm_per_query: usize,
+    },
+    /// Pick `g` from the expected queries per cluster (`B·|W|/|C|`), per
+    /// Section IV-A.
+    Auto,
+}
+
+impl ScmAllocation {
+    /// Resolves to a concrete `g` (SCMs per query) for a workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an explicit `scm_per_query` is zero, exceeds `N_SCM`, or
+    /// does not divide it.
+    pub fn resolve(self, cfg: &AnnaConfig, workload: &BatchWorkload) -> usize {
+        match self {
+            ScmAllocation::InterQuery => 1,
+            ScmAllocation::IntraQuery { scm_per_query } => {
+                assert!(
+                    scm_per_query > 0 && scm_per_query <= cfg.n_scm,
+                    "scm_per_query {scm_per_query} out of range"
+                );
+                assert!(
+                    cfg.n_scm % scm_per_query == 0,
+                    "scm_per_query {scm_per_query} must divide N_SCM {}",
+                    cfg.n_scm
+                );
+                scm_per_query
+            }
+            ScmAllocation::Auto => {
+                let b = workload.b().max(1) as f64;
+                let w = workload.visits.iter().map(|v| v.len() as f64).sum::<f64>() / b;
+                let expected = (b * w / workload.cluster_sizes.len().max(1) as f64).max(1.0);
+                let mut g = (cfg.n_scm as f64 / expected).round().max(1.0) as usize;
+                g = g.min(cfg.n_scm);
+                // Snap to the largest divisor of N_SCM not exceeding g.
+                while cfg.n_scm % g != 0 {
+                    g -= 1;
+                }
+                g
+            }
+        }
+    }
+}
+
+/// One scheduled round: a set of queries scored against one cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Round {
+    /// Cluster id.
+    pub cluster: usize,
+    /// Cluster size `|C_i|`.
+    pub cluster_size: usize,
+    /// Queries processed in this round (`≤ N_SCM / g`).
+    pub queries: Vec<usize>,
+    /// Whether this round is the first to touch its cluster (and therefore
+    /// pays the code fetch; later rounds reuse the on-chip buffer).
+    pub fetches_codes: bool,
+}
+
+/// A full batched schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// SCMs per query `g`.
+    pub scm_per_query: usize,
+    /// Queries per round (`N_SCM / g`).
+    pub queries_per_round: usize,
+    /// The rounds, in execution order (cluster-major).
+    pub rounds: Vec<Round>,
+}
+
+impl Schedule {
+    /// Total encoded vectors scanned per SCM-group across all rounds
+    /// (timing-relevant work).
+    pub fn total_scan_work(&self) -> u64 {
+        self.rounds.iter().map(|r| r.cluster_size as u64).sum()
+    }
+
+    /// Number of distinct cluster fetches (each loads the cluster's codes
+    /// once — at most `|C|`, versus `B·|W|` in the conventional schedule).
+    pub fn clusters_fetched(&self) -> u64 {
+        self.rounds.iter().filter(|r| r.fetches_codes).count() as u64
+    }
+}
+
+/// Plans the cluster-major schedule for a batch workload.
+///
+/// Clusters with no visitors are skipped entirely; clusters with more
+/// visitors than fit a round get multiple consecutive rounds (codes stay
+/// buffered, so only the first round fetches).
+///
+/// # Panics
+///
+/// Panics if `g` does not divide `cfg.n_scm` or any visit references an
+/// out-of-range cluster.
+pub fn plan(cfg: &AnnaConfig, workload: &BatchWorkload, alloc: ScmAllocation) -> Schedule {
+    let g = alloc.resolve(cfg, workload);
+    let queries_per_round = (cfg.n_scm / g).max(1);
+    let visitors = workload.visitors_per_cluster();
+
+    let mut rounds = Vec::new();
+    for (cluster, qs) in visitors.iter().enumerate() {
+        if qs.is_empty() {
+            continue;
+        }
+        let size = workload.cluster_sizes[cluster];
+        for (chunk_idx, chunk) in qs.chunks(queries_per_round).enumerate() {
+            rounds.push(Round {
+                cluster,
+                cluster_size: size,
+                queries: chunk.to_vec(),
+                fetches_codes: chunk_idx == 0,
+            });
+        }
+    }
+    Schedule {
+        scm_per_query: g,
+        queries_per_round,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::SearchShape;
+    use anna_vector::Metric;
+
+    fn shape(num_clusters: usize) -> SearchShape {
+        SearchShape {
+            d: 128,
+            m: 64,
+            kstar: 256,
+            metric: Metric::L2,
+            num_clusters,
+            k: 1000,
+        }
+    }
+
+    fn workload(b: usize, w: usize, c: usize) -> BatchWorkload {
+        BatchWorkload {
+            shape: shape(c),
+            cluster_sizes: vec![100; c],
+            visits: (0..b)
+                .map(|q| (0..w).map(|i| (q + i) % c).collect())
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn auto_matches_paper_example() {
+        // B=1000, |C|=10000, |W|=40 -> 4 queries/cluster -> g = 16/4 = 4.
+        let cfg = AnnaConfig::paper();
+        let w = workload(1000, 40, 10_000);
+        assert_eq!(ScmAllocation::Auto.resolve(&cfg, &w), 4);
+    }
+
+    #[test]
+    fn auto_saturates_to_inter_query_when_crowded() {
+        // Many queries per cluster -> g = 1.
+        let cfg = AnnaConfig::paper();
+        let w = workload(1000, 40, 100);
+        assert_eq!(ScmAllocation::Auto.resolve(&cfg, &w), 1);
+    }
+
+    #[test]
+    fn auto_uses_all_scms_when_sparse() {
+        let cfg = AnnaConfig::paper();
+        let w = workload(2, 2, 10_000);
+        assert_eq!(ScmAllocation::Auto.resolve(&cfg, &w), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn intra_query_must_divide_nscm() {
+        let cfg = AnnaConfig::paper();
+        let w = workload(10, 2, 100);
+        ScmAllocation::IntraQuery { scm_per_query: 3 }.resolve(&cfg, &w);
+    }
+
+    #[test]
+    fn plan_covers_every_visit_exactly_once() {
+        let cfg = AnnaConfig::paper();
+        let w = workload(50, 8, 64);
+        let schedule = plan(&cfg, &w, ScmAllocation::InterQuery);
+        let mut count = vec![0usize; 50];
+        for r in &schedule.rounds {
+            for &q in &r.queries {
+                assert!(w.visits[q].contains(&r.cluster));
+                count[q] += 1;
+            }
+        }
+        assert!(
+            count.iter().all(|&c| c == 8),
+            "every query must appear W times"
+        );
+    }
+
+    #[test]
+    fn only_first_round_per_cluster_fetches() {
+        let cfg = AnnaConfig::paper();
+        // 40 queries all visiting cluster 0 -> ceil(40/16) = 3 rounds.
+        let w = BatchWorkload {
+            shape: shape(4),
+            cluster_sizes: vec![100, 0, 0, 0],
+            visits: (0..40).map(|_| vec![0]).collect(),
+        };
+        let schedule = plan(&cfg, &w, ScmAllocation::InterQuery);
+        assert_eq!(schedule.rounds.len(), 3);
+        assert_eq!(schedule.clusters_fetched(), 1);
+        assert!(schedule.rounds[0].fetches_codes);
+        assert!(!schedule.rounds[1].fetches_codes);
+        assert!(!schedule.rounds[2].fetches_codes);
+    }
+
+    #[test]
+    fn empty_clusters_are_skipped() {
+        let cfg = AnnaConfig::paper();
+        let w = BatchWorkload {
+            shape: shape(3),
+            cluster_sizes: vec![10, 10, 10],
+            visits: vec![vec![2]],
+        };
+        let schedule = plan(&cfg, &w, ScmAllocation::InterQuery);
+        assert_eq!(schedule.rounds.len(), 1);
+        assert_eq!(schedule.rounds[0].cluster, 2);
+    }
+
+    #[test]
+    fn intra_query_reduces_queries_per_round() {
+        let cfg = AnnaConfig::paper();
+        let w = workload(32, 4, 16);
+        let s = plan(&cfg, &w, ScmAllocation::IntraQuery { scm_per_query: 8 });
+        assert_eq!(s.queries_per_round, 2);
+        for r in &s.rounds {
+            assert!(r.queries.len() <= 2);
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Timing engines.
+//!
+//! * [`analytic`] — closed-form cycle counts from the paper's formulas
+//!   (fast; used for parameter sweeps).
+//! * [`cycle`] — event-driven, per-module simulation with explicit double
+//!   buffering and a serializing memory channel (used for validation and
+//!   detailed runs).
+//! * [`stepped`] — cycle-stepped microarchitectural simulation of the
+//!   single-query pipeline with per-cycle stall attribution (used to
+//!   locate bottlenecks and triple-validate the other two).
+//!
+//! All three are cross-validated in tests.
+
+pub mod analytic;
+pub mod cycle;
+pub mod stepped;

@@ -1,0 +1,654 @@
+//! Cycle-stepped microarchitectural engine for the baseline (single-query)
+//! pipeline.
+//!
+//! Unlike [`crate::engine::analytic`] (closed form) and
+//! [`crate::engine::cycle`] (event-driven), this engine advances every
+//! clock cycle and moves data through explicit module state machines:
+//! a FCFS memory channel delivering `bytes_per_cycle`, the CPM as a serial
+//! compute resource, double-buffered encoded-vector and LUT buffers, and
+//! an SCM group that can only consume vectors that have actually arrived.
+//!
+//! Its unique output is the **stall breakdown**: every cycle of the scan
+//! phase is attributed to exactly one of {scm busy, waiting on data,
+//! waiting on LUT, pipeline drain}, which is how an architect would locate
+//! the bottleneck the paper's Section IV-B balance equation talks about.
+//! Runtime is O(total cycles), so use it for validation-sized runs (it
+//! happily steps a few million cycles; the other engines cover sweeps).
+
+use anna_vector::Metric;
+use serde::Serialize;
+
+use crate::config::AnnaConfig;
+use crate::engine::analytic::CLUSTER_META_BYTES;
+use crate::timing::QueryWorkload;
+
+/// Per-cycle attribution of the scan phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub struct StallBreakdown {
+    /// Cycles the SCM group spent scoring vectors.
+    pub scm_busy: u64,
+    /// Cycles stalled because the current cluster's data had not arrived.
+    pub scm_wait_data: u64,
+    /// Cycles stalled because the current cluster's LUT was not ready.
+    pub scm_wait_lut: u64,
+    /// Cycles after the last vector was scored (drain/merge/result store).
+    pub drain: u64,
+    /// Cycles the memory channel was transferring.
+    pub mem_busy: u64,
+    /// Cycles the CPM was computing (filter + residual + LUT fill).
+    pub cpm_busy: u64,
+}
+
+/// The cycle-stepped result.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SteppedReport {
+    /// End-to-end cycles (integer — this engine steps whole clocks).
+    pub cycles: u64,
+    /// Cycles of the cluster-filtering phase.
+    pub filter_cycles: u64,
+    /// Stall attribution.
+    pub stalls: StallBreakdown,
+    /// Total DRAM bytes moved.
+    pub traffic_bytes: u64,
+}
+
+impl SteppedReport {
+    /// Memory-channel utilization over the whole run.
+    pub fn memory_utilization(&self) -> f64 {
+        self.stalls.mem_busy as f64 / self.cycles.max(1) as f64
+    }
+}
+
+/// A FCFS memory channel delivering fractional bytes per cycle.
+#[derive(Debug)]
+struct Channel {
+    bpc: f64,
+    /// Outstanding transfers: (tag, bytes remaining).
+    queue: std::collections::VecDeque<(usize, f64)>,
+    /// Bytes delivered per tag.
+    delivered: Vec<f64>,
+    busy_cycles: u64,
+    total_bytes: u64,
+}
+
+impl Channel {
+    fn new(bpc: f64, tags: usize) -> Self {
+        Self {
+            bpc,
+            queue: std::collections::VecDeque::new(),
+            delivered: vec![0.0; tags],
+            busy_cycles: 0,
+            total_bytes: 0,
+        }
+    }
+
+    fn request(&mut self, tag: usize, bytes: u64) {
+        if bytes > 0 {
+            self.queue.push_back((tag, bytes as f64));
+            self.total_bytes += bytes;
+        }
+    }
+
+    /// Advances one cycle, delivering up to `bpc` bytes to the head
+    /// transfers.
+    fn step(&mut self) {
+        if self.queue.is_empty() {
+            return;
+        }
+        self.busy_cycles += 1;
+        let mut budget = self.bpc;
+        while budget > 0.0 {
+            let Some(front) = self.queue.front_mut() else {
+                break;
+            };
+            let take = budget.min(front.1);
+            front.1 -= take;
+            self.delivered[front.0] += take;
+            budget -= take;
+            if front.1 <= 1e-9 {
+                self.queue.pop_front();
+            }
+        }
+    }
+
+    fn done(&self, tag: usize, total: u64) -> bool {
+        self.delivered[tag] + 1e-6 >= total as f64
+    }
+}
+
+/// Steps the baseline single-query pipeline to completion.
+///
+/// # Panics
+///
+/// Panics if the shape is invalid, `g` is out of range, or the run
+/// exceeds an internal 2³³-cycle safety limit (which would indicate a
+/// deadlock bug, not a long workload).
+pub fn single_query(cfg: &AnnaConfig, w: &QueryWorkload, g: usize) -> SteppedReport {
+    w.shape.assert_valid();
+    assert!(g > 0 && g <= cfg.n_scm, "g={g} out of range");
+    let s = &w.shape;
+    let bpc = cfg.bytes_per_cycle();
+    let n = w.visited_cluster_sizes.len();
+    let sizes = &w.visited_cluster_sizes;
+    let bytes_per_vec = s.encoded_bytes_per_vector() as u64;
+    let cpv = s.scan_cycles_per_vector(cfg.n_u) as f64;
+    // Vectors the SCM group consumes per cycle (may be fractional).
+    let consume_rate = g as f64 / cpv;
+
+    // Memory tags: 0 = centroids, 1..=n = cluster fetches, n+1 = result.
+    let mut chan = Channel::new(bpc, n + 2);
+    let mut stalls = StallBreakdown::default();
+
+    // --- Phase 1: cluster filtering --------------------------------------
+    chan.request(0, s.centroid_bytes());
+    let filter_rate = cfg.n_cu as f64 / s.d as f64; // centroids scored/cycle
+    let mut scored = 0.0f64;
+    let mut cycle: u64 = 0;
+    let total_centroids = s.num_clusters as f64;
+    while scored + 1e-9 < total_centroids {
+        chan.step();
+        // The CPM can only score centroids whose bytes have arrived.
+        let arrived = chan.delivered[0] / (2.0 * s.d as f64);
+        let target = arrived.min(total_centroids);
+        if scored < target {
+            scored = (scored + filter_rate).min(target);
+            stalls.cpm_busy += 1;
+        }
+        cycle += 1;
+        assert!(cycle < (1 << 33), "filter phase deadlocked");
+    }
+    let filter_cycles = cycle;
+
+    // --- Phase 2: per-cluster pipeline ------------------------------------
+    // State per cluster.
+    let lut_cost = match s.metric {
+        Metric::L2 => (s.d as f64 + s.d as f64 * s.kstar as f64) / cfg.n_cu as f64,
+        Metric::InnerProduct => 0.0,
+    };
+    let ip_lut_cost = match s.metric {
+        Metric::InnerProduct => s.d as f64 * s.kstar as f64 / cfg.n_cu as f64,
+        Metric::L2 => 0.0,
+    };
+    let fetch_bytes: Vec<u64> = sizes
+        .iter()
+        .map(|&z| z as u64 * bytes_per_vec + CLUSTER_META_BYTES)
+        .collect();
+
+    let mut fetch_issued = vec![false; n];
+    let mut lut_done = vec![false; n];
+    let mut lut_progress = vec![0.0f64; n];
+    let mut scanned = vec![0.0f64; n]; // vectors consumed per cluster
+    let mut scan_done = vec![n == 0; n.max(1)];
+    let mut ip_lut_progress = 0.0f64;
+    let mut ip_lut_done = s.metric == Metric::L2;
+    let mut current = 0usize; // cluster the SCM group is working on
+    let mut cpm_target = 0usize; // next LUT the CPM fills
+
+    // In IP mode all cluster LUTs are the shared one.
+    if s.metric == Metric::InnerProduct {
+        for l in lut_done.iter_mut() {
+            *l = false; // becomes true when the shared LUT is built
+        }
+    }
+
+    let result_tag = n + 1;
+    let mut result_issued = false;
+    let merge_cycles = if g > 1 { ((g - 1) * s.k) as u64 } else { 0 };
+    let mut merge_remaining = merge_cycles;
+
+    while n > 0 {
+        // Issue fetches when the double buffer allows: fetch i needs scan
+        // of cluster i−2 to be complete.
+        for i in 0..n {
+            if !fetch_issued[i] && (i < 2 || scan_done[i - 2]) {
+                chan.request(1 + i, fetch_bytes[i]);
+                fetch_issued[i] = true;
+            }
+        }
+
+        chan.step();
+
+        // CPM: shared IP LUT first, then per-cluster L2 LUTs (double
+        // buffered: LUT i may fill once scan i−2 finished).
+        let mut cpm_used = false;
+        if !ip_lut_done {
+            ip_lut_progress += 1.0;
+            cpm_used = true;
+            if ip_lut_progress >= ip_lut_cost {
+                ip_lut_done = true;
+                for l in lut_done.iter_mut() {
+                    *l = true;
+                }
+            }
+        } else if s.metric == Metric::L2 {
+            while cpm_target < n && lut_done[cpm_target] {
+                cpm_target += 1;
+            }
+            if cpm_target < n && (cpm_target < 2 || scan_done[cpm_target - 2]) {
+                lut_progress[cpm_target] += 1.0;
+                cpm_used = true;
+                if lut_progress[cpm_target] >= lut_cost {
+                    lut_done[cpm_target] = true;
+                }
+            }
+        }
+        if cpm_used {
+            stalls.cpm_busy += 1;
+        }
+
+        // SCM group: consume the current cluster.
+        if current < n {
+            if !lut_done[current] {
+                stalls.scm_wait_lut += 1;
+            } else {
+                // Vectors available: arrived bytes minus the metadata line.
+                let arrived_bytes =
+                    (chan.delivered[1 + current] - CLUSTER_META_BYTES as f64).max(0.0);
+                let available = (arrived_bytes / bytes_per_vec as f64).min(sizes[current] as f64);
+                let headroom = available - scanned[current];
+                if headroom + 1e-9 >= consume_rate {
+                    // Full-rate consumption: the SCM is genuinely busy.
+                    scanned[current] += consume_rate;
+                    stalls.scm_busy += 1;
+                } else if headroom > 1e-9 {
+                    // Trickle: the stream limits consumption — a data
+                    // stall from the architect's point of view.
+                    scanned[current] = available;
+                    stalls.scm_wait_data += 1;
+                } else {
+                    stalls.scm_wait_data += 1;
+                }
+                if scanned[current] + 1e-9 >= sizes[current] as f64
+                    && chan.done(1 + current, fetch_bytes[current])
+                {
+                    scan_done[current] = true;
+                    current += 1;
+                }
+            }
+        } else if merge_remaining > 0 {
+            merge_remaining -= 1;
+            stalls.drain += 1;
+        } else {
+            if !result_issued {
+                chan.request(result_tag, (s.k * cfg.topk_record_bytes) as u64);
+                result_issued = true;
+            }
+            if chan.done(result_tag, (s.k * cfg.topk_record_bytes) as u64) {
+                break;
+            }
+            stalls.drain += 1;
+        }
+
+        cycle += 1;
+        assert!(cycle < (1 << 33), "scan phase deadlocked");
+    }
+    if n == 0 {
+        // Degenerate: no clusters; just store the (empty) result.
+        chan.request(result_tag, (s.k * cfg.topk_record_bytes) as u64);
+        while !chan.done(result_tag, (s.k * cfg.topk_record_bytes) as u64) {
+            chan.step();
+            cycle += 1;
+        }
+    }
+
+    stalls.mem_busy = chan.busy_cycles;
+    SteppedReport {
+        cycles: cycle,
+        filter_cycles,
+        stalls,
+        traffic_bytes: chan.total_bytes,
+    }
+}
+
+/// Steps the memory-traffic-optimized batched pipeline (Section IV) to
+/// completion: cluster-major rounds with top-k fill/spill traffic, LUT
+/// fills per round, and code prefetch, all contending for the same
+/// cycle-stepped memory channel.
+///
+/// # Panics
+///
+/// Panics if the shape is invalid, the allocation is inconsistent, or the
+/// run exceeds the 2³³-cycle deadlock limit.
+pub fn batch(
+    cfg: &AnnaConfig,
+    w: &crate::timing::BatchWorkload,
+    alloc: crate::batch::ScmAllocation,
+) -> SteppedReport {
+    w.shape.assert_valid();
+    let s = &w.shape;
+    let schedule = crate::batch::plan(cfg, w, alloc);
+    let g = schedule.scm_per_query;
+    let b = w.b();
+    let bpc = cfg.bytes_per_cycle();
+    let bytes_per_vec = s.encoded_bytes_per_vector() as u64;
+    let cpv = s.scan_cycles_per_vector(cfg.n_u) as f64;
+    let consume_rate = g as f64 / cpv;
+    let record = cfg.topk_record_bytes as u64;
+    let lut_cost_per_query = s.lut_fill_cycles(cfg.n_cu)
+        + match s.metric {
+            Metric::L2 => s.d as f64 / cfg.n_cu as f64,
+            Metric::InnerProduct => 0.0,
+        };
+
+    let rounds = &schedule.rounds;
+    let n = rounds.len();
+    // Memory tags: 0 centroids+lists, 1..=n per-round traffic (codes +
+    // fills), n+1 result store. Spills ride the round tags of the *next*
+    // round (they contend there).
+    let mut chan = Channel::new(bpc, n + 2);
+    let mut stalls = StallBreakdown::default();
+
+    // Filter phase: stream centroids once, score B queries, write lists.
+    let total_visits: u64 = w.visits.iter().map(|v| v.len() as u64).sum();
+    chan.request(0, s.centroid_bytes() + 2 * total_visits * 3);
+    let filter_compute = s.filter_compute_cycles(cfg.n_cu) * b as f64;
+    let mut cycle: u64 = 0;
+    let mut compute_done = 0.0f64;
+    loop {
+        chan.step();
+        if compute_done < filter_compute {
+            compute_done += 1.0;
+            stalls.cpm_busy += 1;
+        }
+        cycle += 1;
+        let data_done = chan.done(0, s.centroid_bytes() + 2 * total_visits * 3);
+        if compute_done >= filter_compute && data_done {
+            break;
+        }
+        assert!(cycle < (1 << 33), "filter phase deadlocked");
+    }
+    let filter_cycles = cycle;
+
+    // Per-round bookkeeping.
+    let mut rounds_per_query = vec![0usize; b];
+    for r in rounds {
+        for &q in &r.queries {
+            rounds_per_query[q] += 1;
+        }
+    }
+    // Round r's memory demand: codes (if it fetches) + fills for resuming
+    // queries + the previous round's spills.
+    let mut round_bytes = vec![0u64; n];
+    let mut code_only = vec![0u64; n];
+    {
+        let mut seen_tmp = vec![0usize; b];
+        for (ri, r) in rounds.iter().enumerate() {
+            let mut bytes = 0u64;
+            if r.fetches_codes {
+                let cb = r.cluster_size as u64 * bytes_per_vec + CLUSTER_META_BYTES;
+                bytes += cb;
+                code_only[ri] = cb;
+            }
+            for &q in &r.queries {
+                if seen_tmp[q] > 0 {
+                    bytes += (s.k.min(cfg.topk) * g) as u64 * record; // fill
+                }
+                seen_tmp[q] += 1;
+                if seen_tmp[q] < rounds_per_query[q] {
+                    bytes += (s.k.min(cfg.topk) * g) as u64 * record; // spill
+                }
+            }
+            round_bytes[ri] = bytes;
+        }
+    }
+
+    // Stepped execution: issue round traffic when the double buffer frees
+    // (two rounds ahead max), fill LUTs serially on the CPM, scan when
+    // LUT + data are ready.
+    let mut issued = vec![false; n];
+    let mut lut_progress = vec![0.0f64; n];
+    let mut lut_done = vec![false; n];
+    let mut scanned = vec![0.0f64; n];
+    let mut scan_complete = vec![false; n];
+    let mut current = 0usize;
+    let mut cpm_next = 0usize;
+    let mut result_issued = false;
+    let result_bytes = (b * s.k * cfg.topk_record_bytes) as u64;
+
+    while current < n || !result_issued || !chan.done(n + 1, result_bytes) {
+        for ri in 0..n {
+            if !issued[ri] && (ri < 2 || scan_complete[ri - 2]) {
+                chan.request(1 + ri, round_bytes[ri]);
+                issued[ri] = true;
+            }
+        }
+        chan.step();
+
+        // CPM fills round LUTs in order, double buffered.
+        while cpm_next < n && lut_done[cpm_next] {
+            cpm_next += 1;
+        }
+        if cpm_next < n && (cpm_next < 2 || scan_complete[cpm_next - 2]) {
+            lut_progress[cpm_next] += 1.0;
+            stalls.cpm_busy += 1;
+            if lut_progress[cpm_next] >= rounds[cpm_next].queries.len() as f64 * lut_cost_per_query
+            {
+                lut_done[cpm_next] = true;
+            }
+        }
+
+        if current < n {
+            let r = &rounds[current];
+            if !lut_done[current] {
+                stalls.scm_wait_lut += 1;
+            } else {
+                // Codes available: for fetching rounds, what has arrived;
+                // re-used buffers are instantly available.
+                let available = if code_only[current] > 0 {
+                    let code_arrived = (chan.delivered[1 + current]
+                        - (round_bytes[current] - code_only[current]) as f64
+                        - CLUSTER_META_BYTES as f64)
+                        .max(0.0);
+                    (code_arrived / bytes_per_vec as f64).min(r.cluster_size as f64)
+                } else {
+                    r.cluster_size as f64
+                };
+                let headroom = available - scanned[current];
+                if headroom + 1e-9 >= consume_rate {
+                    scanned[current] += consume_rate;
+                    stalls.scm_busy += 1;
+                } else if headroom > 1e-9 {
+                    scanned[current] = available;
+                    stalls.scm_wait_data += 1;
+                } else {
+                    stalls.scm_wait_data += 1;
+                }
+                if scanned[current] + 1e-9 >= r.cluster_size as f64
+                    && chan.done(1 + current, round_bytes[current])
+                {
+                    scan_complete[current] = true;
+                    current += 1;
+                }
+            }
+        } else {
+            if !result_issued {
+                chan.request(n + 1, result_bytes);
+                result_issued = true;
+            }
+            stalls.drain += 1;
+        }
+
+        cycle += 1;
+        assert!(cycle < (1 << 33), "batched pipeline deadlocked");
+    }
+
+    stalls.mem_busy = chan.busy_cycles;
+    SteppedReport {
+        cycles: cycle,
+        filter_cycles,
+        stalls,
+        traffic_bytes: chan.total_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::analytic;
+    use crate::timing::SearchShape;
+
+    fn shape(metric: Metric) -> SearchShape {
+        SearchShape {
+            d: 128,
+            m: 64,
+            kstar: 256,
+            metric,
+            num_clusters: 10_000,
+            k: 1000,
+        }
+    }
+
+    fn query(metric: Metric, w: usize, size: usize) -> QueryWorkload {
+        QueryWorkload {
+            shape: shape(metric),
+            visited_cluster_sizes: vec![size; w],
+        }
+    }
+
+    #[test]
+    fn agrees_with_analytic_engine() {
+        let cfg = AnnaConfig::paper();
+        for metric in [Metric::L2, Metric::InnerProduct] {
+            for &(w, size) in &[(4usize, 20_000usize), (16, 5_000), (8, 100_000)] {
+                let q = query(metric, w, size);
+                let a = analytic::single_query(&cfg, &q, 16);
+                let st = single_query(&cfg, &q, 16);
+                let ratio = st.cycles as f64 / a.cycles;
+                assert!(
+                    (0.85..1.25).contains(&ratio),
+                    "{metric} W={w} size={size}: stepped {} vs analytic {} ({ratio})",
+                    st.cycles,
+                    a.cycles
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stall_accounting_covers_the_scan_phase() {
+        let cfg = AnnaConfig::paper();
+        let q = query(Metric::L2, 8, 50_000);
+        let st = single_query(&cfg, &q, 16);
+        let scan_phase = st.cycles - st.filter_cycles;
+        let attributed =
+            st.stalls.scm_busy + st.stalls.scm_wait_data + st.stalls.scm_wait_lut + st.stalls.drain;
+        assert_eq!(
+            attributed, scan_phase,
+            "every scan-phase cycle must be attributed"
+        );
+    }
+
+    #[test]
+    fn memory_bound_run_stalls_on_data() {
+        // Big clusters, wide SCM group: the scan waits on the stream.
+        let cfg = AnnaConfig::paper();
+        let q = query(Metric::L2, 8, 100_000);
+        let st = single_query(&cfg, &q, 16);
+        assert!(
+            st.stalls.scm_wait_data > st.stalls.scm_busy,
+            "expected data stalls to dominate: {:?}",
+            st.stalls
+        );
+        assert!(
+            st.memory_utilization() > 0.8,
+            "memory should be nearly saturated"
+        );
+    }
+
+    #[test]
+    fn compute_bound_run_keeps_scm_busy() {
+        // Narrow reduction tree and a single SCM: compute dominates.
+        let cfg = AnnaConfig {
+            n_u: 8,
+            ..AnnaConfig::paper()
+        };
+        let q = query(Metric::L2, 8, 50_000);
+        let st = single_query(&cfg, &q, 1);
+        assert!(
+            st.stalls.scm_busy > 4 * st.stalls.scm_wait_data,
+            "expected SCM-busy to dominate: {:?}",
+            st.stalls
+        );
+    }
+
+    #[test]
+    fn traffic_matches_analytic_traffic() {
+        let cfg = AnnaConfig::paper();
+        let q = query(Metric::L2, 8, 30_000);
+        let a = analytic::single_query(&cfg, &q, 16);
+        let st = single_query(&cfg, &q, 16);
+        assert_eq!(st.traffic_bytes, a.traffic.total());
+    }
+
+    #[test]
+    fn batched_mode_agrees_with_analytic() {
+        use crate::batch::ScmAllocation;
+        use crate::timing::BatchWorkload;
+        let cfg = AnnaConfig::paper();
+        let workload = BatchWorkload {
+            shape: shape(Metric::L2),
+            cluster_sizes: vec![20_000; 64],
+            visits: (0..48)
+                .map(|q| {
+                    let mut v: Vec<usize> = (0..4).map(|i| (q * 7 + i * 11) % 64).collect();
+                    v.sort_unstable();
+                    v.dedup();
+                    v
+                })
+                .collect(),
+        };
+        let a = crate::engine::analytic::batch(&cfg, &workload, ScmAllocation::InterQuery);
+        let st = batch(&cfg, &workload, ScmAllocation::InterQuery);
+        let ratio = st.cycles as f64 / a.cycles;
+        assert!(
+            (0.8..1.3).contains(&ratio),
+            "stepped {} vs analytic {} ({ratio})",
+            st.cycles,
+            a.cycles
+        );
+        assert_eq!(st.traffic_bytes, a.traffic.total());
+        // Attribution covers the post-filter phase.
+        let post = st.cycles - st.filter_cycles;
+        let attributed =
+            st.stalls.scm_busy + st.stalls.scm_wait_data + st.stalls.scm_wait_lut + st.stalls.drain;
+        assert_eq!(attributed, post);
+    }
+
+    #[test]
+    fn batched_l2_shows_lut_pressure_with_many_queries_per_round() {
+        // Many queries per round at L2 means the CPM must fill many LUTs
+        // per round; with a slow CPM the scan stalls on LUTs.
+        use crate::batch::ScmAllocation;
+        use crate::timing::BatchWorkload;
+        let slow_cpm = AnnaConfig {
+            n_cu: 4,
+            ..AnnaConfig::paper()
+        };
+        let workload = BatchWorkload {
+            shape: shape(Metric::L2),
+            cluster_sizes: vec![2_000; 8],
+            visits: (0..64).map(|q| vec![q % 8]).collect(),
+        };
+        let st = batch(&slow_cpm, &workload, ScmAllocation::InterQuery);
+        assert!(
+            st.stalls.scm_wait_lut > st.stalls.scm_busy,
+            "expected LUT stalls to dominate with a 4-unit CPM: {:?}",
+            st.stalls
+        );
+    }
+
+    #[test]
+    fn ip_skips_lut_stalls() {
+        let cfg = AnnaConfig::paper();
+        let q = query(Metric::InnerProduct, 8, 30_000);
+        let st = single_query(&cfg, &q, 16);
+        // After the one-time shared LUT, no per-cluster LUT waits occur;
+        // allow only the initial build window.
+        let ip_lut = 128.0 * 256.0 / 96.0;
+        assert!(
+            (st.stalls.scm_wait_lut as f64) <= ip_lut + 1.0,
+            "unexpected LUT stalls: {:?}",
+            st.stalls
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! Memory Access Interface (Section III-B(5)).
+//!
+//! "MAI takes read requests from memory readers and issues memory read
+//! requests to the memory controller. When issuing a memory request, it
+//! reserves one of its 64B buffers ... In general, this is quite similar
+//! to the MSHR in CPUs."
+//!
+//! The timing-relevant consequence of an MSHR-like structure is Little's
+//! law: with `E` outstanding 64 B entries and a memory latency of `L`
+//! cycles, the sustainable request throughput is `E·64/L` bytes per cycle
+//! regardless of the DRAM's peak — the effective bandwidth is the minimum
+//! of the two. [`Mai::effective_bytes_per_cycle`] feeds that bound to the
+//! timing engines.
+
+use serde::Serialize;
+
+/// MAI activity counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub struct MaiStats {
+    /// 64 B lines requested.
+    pub lines: u64,
+    /// Bytes transferred (line-granular: requests round up).
+    pub bytes: u64,
+    /// Write requests buffered.
+    pub writes: u64,
+}
+
+/// The MAI model.
+#[derive(Debug, Clone)]
+pub struct Mai {
+    entries: usize,
+    line_bytes: usize,
+    latency_cycles: f64,
+    stats: MaiStats,
+}
+
+impl Mai {
+    /// Creates an MAI with `entries` outstanding 64 B buffers and the
+    /// given memory round-trip latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries == 0` or `latency_cycles <= 0`.
+    pub fn new(entries: usize, latency_cycles: f64) -> Self {
+        assert!(entries > 0, "MAI needs at least one entry");
+        assert!(latency_cycles > 0.0, "latency must be positive");
+        Self {
+            entries,
+            line_bytes: 64,
+            latency_cycles,
+            stats: MaiStats::default(),
+        }
+    }
+
+    /// The paper-scale default: enough entries to cover a 100-cycle DRAM
+    /// latency at 64 B/cycle (128 × 64 B ≈ 8 KB in flight).
+    pub fn paper() -> Self {
+        Self::new(128, 100.0)
+    }
+
+    /// Outstanding entries.
+    pub fn entries(&self) -> usize {
+        self.entries
+    }
+
+    /// Activity so far.
+    pub fn stats(&self) -> MaiStats {
+        self.stats
+    }
+
+    /// The bandwidth this MAI can sustain by Little's law, in bytes per
+    /// cycle.
+    pub fn sustainable_bytes_per_cycle(&self) -> f64 {
+        self.entries as f64 * self.line_bytes as f64 / self.latency_cycles
+    }
+
+    /// The effective bytes-per-cycle the memory system delivers: the
+    /// minimum of the DRAM peak and the MAI's sustainable rate.
+    pub fn effective_bytes_per_cycle(&self, peak_bytes_per_cycle: f64) -> f64 {
+        peak_bytes_per_cycle.min(self.sustainable_bytes_per_cycle())
+    }
+
+    /// Accounts a read of `bytes` (rounded up to 64 B lines, as the
+    /// hardware fetches).
+    pub fn read(&mut self, bytes: u64) {
+        let lines = bytes.div_ceil(self.line_bytes as u64);
+        self.stats.lines += lines;
+        self.stats.bytes += lines * self.line_bytes as u64;
+    }
+
+    /// Accounts a buffered write of `bytes`.
+    pub fn write(&mut self, bytes: u64) {
+        let lines = bytes.div_ceil(self.line_bytes as u64);
+        self.stats.lines += lines;
+        self.stats.bytes += lines * self.line_bytes as u64;
+        self.stats.writes += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_mai_covers_peak_bandwidth() {
+        // 128 entries x 64 B / 100 cycles = 81.9 B/cycle > the 64 B/cycle
+        // peak, so the default never throttles (by design).
+        let mai = Mai::paper();
+        assert!(mai.sustainable_bytes_per_cycle() > 64.0);
+        assert_eq!(mai.effective_bytes_per_cycle(64.0), 64.0);
+    }
+
+    #[test]
+    fn few_entries_throttle_bandwidth() {
+        // 32 entries at 100-cycle latency sustain only 20.5 B/cycle.
+        let mai = Mai::new(32, 100.0);
+        assert!((mai.sustainable_bytes_per_cycle() - 20.48).abs() < 0.01);
+        assert!((mai.effective_bytes_per_cycle(64.0) - 20.48).abs() < 0.01);
+    }
+
+    #[test]
+    fn reads_are_line_granular() {
+        let mut mai = Mai::paper();
+        mai.read(1);
+        mai.read(65);
+        assert_eq!(mai.stats().lines, 3);
+        assert_eq!(mai.stats().bytes, 192);
+    }
+
+    #[test]
+    fn writes_counted_separately() {
+        let mut mai = Mai::paper();
+        mai.write(128);
+        assert_eq!(mai.stats().writes, 1);
+        assert_eq!(mai.stats().lines, 2);
+    }
+}

@@ -1,0 +1,38 @@
+//! Dataset substrate for the ANNA reproduction.
+//!
+//! The paper evaluates on SIFT1M/1B, Deep1M/1B, GloVe and TTI1B
+//! (Section V-A). Those corpora cannot be shipped here, so this crate
+//! generates synthetic stand-ins that preserve the characteristics the
+//! search pipeline is sensitive to (see `DESIGN.md`, substitution 1):
+//!
+//! * [`synth`] — clustered mixture generators with per-family character:
+//!   SIFT-like (non-negative quantized features, L2), Deep-like
+//!   (L2-normalized dense embeddings, L2), GloVe-like (heavy-tailed word
+//!   embeddings, inner product) and TTI-like (queries drawn from a shifted
+//!   distribution — the out-of-distribution text-to-image regime, inner
+//!   product).
+//! * [`workload`] — the registry of the paper's six datasets with their
+//!   true `N`, `D`, metric and `|C|`, plus scaled variants whose
+//!   `N/|C|` ratio matches the paper so recall-vs-`W` dynamics carry over.
+//! * [`cluster_model`] — cluster-size distributions at *full* paper scale
+//!   (balanced and skewed), which is all the cycle-level simulator needs to
+//!   time billion-scale runs without materializing a billion vectors.
+//! * [`recall`] — ground truth via exhaustive search and the paper's
+//!   quality metric, recall `X@Y` ("the portion of retrieved top X items
+//!   among submitted Y candidates").
+//! * [`fvecs`] — readers/writers for the TexMex `.fvecs`/`.ivecs`/`.bvecs`
+//!   formats, so the pipeline can also consume the paper's real datasets
+//!   when they are available.
+
+#![deny(missing_docs)]
+
+pub mod cluster_model;
+pub mod fvecs;
+pub mod recall;
+pub mod synth;
+pub mod workload;
+
+pub use cluster_model::ClusterSizeModel;
+pub use recall::{ground_truth, recall_x_at_y, GroundTruth};
+pub use synth::{Character, Dataset, DatasetSpec};
+pub use workload::PaperDataset;

@@ -1,0 +1,301 @@
+//! Cluster-major batched execution — the software analogue of ANNA's
+//! memory-traffic optimization (Section IV, Figure 5).
+//!
+//! Instead of each query streaming the codes of its `W` selected clusters
+//! (loading `B·|W|` clusters for a batch of `B` queries), the batch first
+//! resolves every query's cluster list, inverts it into per-cluster query
+//! lists, and then walks the clusters once: each cluster's codes are read a
+//! single time and scored against every visiting query (at most `|C|`
+//! cluster loads per batch).
+//!
+//! The paper observes Faiss16's CPU implementation uses this schedule,
+//! which is why it is the fastest CPU baseline; we use the same code for
+//! our CPU measurements and reuse its bookkeeping in the accelerator model.
+
+use crate::ivf::IvfPqIndex;
+use crate::kernels;
+use crate::lut::Lut;
+use crate::SearchParams;
+use anna_vector::{metric, Metric, Neighbor, TopK, VectorSet};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Memory-traffic bookkeeping for one batch, in the units of Figure 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BatchStats {
+    /// Clusters actually loaded (each counted once; `≤ |C|`).
+    pub clusters_loaded: u64,
+    /// Encoded-vector bytes read under the cluster-major schedule.
+    pub code_bytes_loaded: u64,
+    /// Total (query, cluster) visits — `B·|W|`; the conventional schedule
+    /// would load this many clusters.
+    pub query_cluster_visits: u64,
+    /// Encoded-vector bytes the conventional (query-major) schedule would
+    /// have read.
+    pub conventional_code_bytes: u64,
+}
+
+impl BatchStats {
+    /// The traffic reduction factor of the optimization
+    /// (`conventional / optimized`; the paper's example: B=1000, |C|=10000,
+    /// |W|=128 gives 12.8×).
+    pub fn traffic_reduction(&self) -> f64 {
+        self.conventional_code_bytes as f64 / self.code_bytes_loaded.max(1) as f64
+    }
+}
+
+/// Cluster-major batched scanner over an [`IvfPqIndex`].
+///
+/// # Example
+///
+/// ```
+/// use anna_index::{BatchedScan, IvfPqConfig, IvfPqIndex, SearchParams};
+/// use anna_vector::{Metric, VectorSet};
+///
+/// let data = VectorSet::from_fn(8, 256, |r, c| ((r * 13 + c * 5) % 23) as f32);
+/// let index = IvfPqIndex::build(&data, &IvfPqConfig {
+///     metric: Metric::L2, num_clusters: 8, m: 4, kstar: 16,
+///     ..IvfPqConfig::default()
+/// });
+/// let queries = data.gather(&[1, 2, 3]);
+/// let params = SearchParams { nprobe: 3, k: 2, ..Default::default() };
+/// let (results, stats) = BatchedScan::new(&index).run(&queries, &params);
+/// assert_eq!(results.len(), 3);
+/// assert!(stats.traffic_reduction() >= 1.0);
+/// ```
+#[derive(Debug)]
+pub struct BatchedScan<'a> {
+    index: &'a IvfPqIndex,
+}
+
+impl<'a> BatchedScan<'a> {
+    /// Creates a scanner over `index`.
+    pub fn new(index: &'a IvfPqIndex) -> Self {
+        Self { index }
+    }
+
+    /// Resolves each query's cluster list and inverts it: entry `c` of the
+    /// result lists the queries visiting cluster `c` (the "array of arrays"
+    /// ANNA keeps in main memory, Section IV-A).
+    pub fn plan(&self, queries: &VectorSet, nprobe: usize) -> Vec<Vec<usize>> {
+        let mut visiting: Vec<Vec<usize>> = vec![Vec::new(); self.index.num_clusters()];
+        for (qi, q) in queries.iter().enumerate() {
+            for cid in self.index.filter_clusters(q, nprobe) {
+                visiting[cid].push(qi);
+            }
+        }
+        visiting
+    }
+
+    /// Runs the batch and returns per-query results (query order, best
+    /// first) plus traffic statistics.
+    ///
+    /// Results are bit-identical to running [`IvfPqIndex::search`] per
+    /// query — only the schedule differs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries.dim() != index.dim()`.
+    pub fn run(
+        &self,
+        queries: &VectorSet,
+        params: &SearchParams,
+    ) -> (Vec<Vec<Neighbor>>, BatchStats) {
+        assert_eq!(queries.dim(), self.index.dim(), "query dimension mismatch");
+        let visiting = self.plan(queries, params.nprobe);
+        let nq = queries.len();
+
+        // Shared inner-product base tables (cluster-invariant) per query.
+        let ip_base: Option<Vec<Lut>> = match self.index.metric() {
+            Metric::InnerProduct => Some(
+                queries
+                    .iter()
+                    .map(|q| Lut::build_ip(q, self.index.codebook(), params.lut_precision))
+                    .collect(),
+            ),
+            Metric::L2 => None,
+        };
+
+        let mut stats = BatchStats::default();
+        for (cid, qs) in visiting.iter().enumerate() {
+            if qs.is_empty() {
+                continue;
+            }
+            let bytes = self.index.cluster(cid).encoded_bytes();
+            stats.clusters_loaded += 1;
+            stats.code_bytes_loaded += bytes;
+            stats.query_cluster_visits += qs.len() as u64;
+            stats.conventional_code_bytes += bytes * qs.len() as u64;
+        }
+
+        // Walk clusters in parallel; each worker keeps partial top-k state
+        // per query and the partials are merged afterwards (mirrors ANNA's
+        // intermediate top-k spill/fill, Section IV-A).
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let work: Vec<usize> = (0..visiting.len())
+            .filter(|&c| !visiting[c].is_empty())
+            .collect();
+        let chunk = work.len().div_ceil(threads).max(1);
+        let partials = parking_lot::Mutex::new(Vec::<HashMap<usize, TopK>>::new());
+
+        crossbeam::thread::scope(|s| {
+            for piece in work.chunks(chunk) {
+                let partials = &partials;
+                let ip_base = &ip_base;
+                let visiting = &visiting;
+                s.spawn(move |_| {
+                    let mut local: HashMap<usize, TopK> = HashMap::new();
+                    for &cid in piece {
+                        let cluster = self.index.cluster(cid);
+                        for &qi in &visiting[cid] {
+                            let q = queries.row(qi);
+                            let lut = match ip_base {
+                                Some(base) => base[qi]
+                                    .with_bias(metric::dot(q, self.index.centroids().row(cid))),
+                                None => self.index.build_lut(q, cid, params),
+                            };
+                            let top = local.entry(qi).or_insert_with(|| TopK::new(params.k));
+                            kernels::scan(&cluster.codes, &cluster.ids, &lut, top);
+                        }
+                    }
+                    partials.lock().push(local);
+                });
+            }
+        })
+        .expect("batched scan worker panicked");
+
+        let mut merged: Vec<TopK> = (0..nq).map(|_| TopK::new(params.k)).collect();
+        for local in partials.into_inner() {
+            for (qi, top) in local {
+                merged[qi].merge(&top);
+            }
+        }
+        (
+            merged.into_iter().map(TopK::into_sorted_vec).collect(),
+            stats,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ivf::IvfPqConfig;
+    use crate::LutPrecision;
+
+    fn clustered(dim: usize, n: usize) -> VectorSet {
+        VectorSet::from_fn(dim, n, |r, c| {
+            let blob = (r % 8) as f32;
+            blob * 20.0 + ((r * 31 + c * 7) % 10) as f32 * 0.2
+        })
+    }
+
+    fn build(metric: Metric) -> (VectorSet, IvfPqIndex) {
+        let data = clustered(8, 600);
+        let cfg = IvfPqConfig {
+            metric,
+            num_clusters: 12,
+            m: 4,
+            kstar: 16,
+            ..IvfPqConfig::default()
+        };
+        let index = IvfPqIndex::build(&data, &cfg);
+        (data, index)
+    }
+
+    #[test]
+    fn batched_matches_query_major_l2() {
+        let (data, index) = build(Metric::L2);
+        let ids: Vec<usize> = (0..40).map(|i| i * 13 % 600).collect();
+        let queries = data.gather(&ids);
+        let params = SearchParams {
+            nprobe: 4,
+            k: 6,
+            lut_precision: LutPrecision::F32,
+        };
+        let (batched, _) = BatchedScan::new(&index).run(&queries, &params);
+        for (bi, &row) in ids.iter().enumerate() {
+            let single = index.search(data.row(row), &params);
+            assert_eq!(batched[bi], single, "query row {row} diverged");
+        }
+    }
+
+    #[test]
+    fn batched_matches_query_major_inner_product() {
+        let (data, index) = build(Metric::InnerProduct);
+        let ids: Vec<usize> = vec![5, 100, 250, 599];
+        let queries = data.gather(&ids);
+        let params = SearchParams {
+            nprobe: 5,
+            k: 4,
+            lut_precision: LutPrecision::F32,
+        };
+        let (batched, _) = BatchedScan::new(&index).run(&queries, &params);
+        for (bi, &row) in ids.iter().enumerate() {
+            assert_eq!(batched[bi], index.search(data.row(row), &params));
+        }
+    }
+
+    #[test]
+    fn traffic_never_exceeds_conventional() {
+        let (data, index) = build(Metric::L2);
+        let queries = data.gather(&(0..64).collect::<Vec<_>>());
+        let params = SearchParams {
+            nprobe: 6,
+            k: 3,
+            lut_precision: LutPrecision::F32,
+        };
+        let (_, stats) = BatchedScan::new(&index).run(&queries, &params);
+        assert!(stats.code_bytes_loaded <= stats.conventional_code_bytes);
+        assert!(stats.clusters_loaded as usize <= index.num_clusters());
+        assert_eq!(stats.query_cluster_visits, 64 * 6);
+        assert!(stats.traffic_reduction() >= 1.0);
+    }
+
+    #[test]
+    fn traffic_reduction_grows_with_batch_size() {
+        let (data, index) = build(Metric::L2);
+        let params = SearchParams {
+            nprobe: 6,
+            k: 3,
+            lut_precision: LutPrecision::F32,
+        };
+        let small = data.gather(&(0..4).collect::<Vec<_>>());
+        let large = data.gather(&(0..128).collect::<Vec<_>>());
+        let (_, s1) = BatchedScan::new(&index).run(&small, &params);
+        let (_, s2) = BatchedScan::new(&index).run(&large, &params);
+        assert!(
+            s2.traffic_reduction() >= s1.traffic_reduction(),
+            "{} vs {}",
+            s2.traffic_reduction(),
+            s1.traffic_reduction()
+        );
+    }
+
+    #[test]
+    fn plan_inverts_cluster_lists() {
+        let (data, index) = build(Metric::L2);
+        let queries = data.gather(&[0, 8, 16]);
+        let plan = BatchedScan::new(&index).plan(&queries, 3);
+        // Every query appears in exactly nprobe cluster lists.
+        let mut counts = [0usize; 3];
+        for qs in &plan {
+            for &q in qs {
+                counts[q] += 1;
+            }
+        }
+        assert_eq!(counts, [3, 3, 3]);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let (_, index) = build(Metric::L2);
+        let queries = VectorSet::zeros(8, 0);
+        let params = SearchParams::default();
+        let (res, stats) = BatchedScan::new(&index).run(&queries, &params);
+        assert!(res.is_empty());
+        assert_eq!(stats.clusters_loaded, 0);
+    }
+}

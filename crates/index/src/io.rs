@@ -1,0 +1,278 @@
+//! Index persistence: a versioned, dependency-free binary format.
+//!
+//! The format stores exactly the "trained model" triple the paper's host
+//! ships to the accelerator (Section V-A: "a list of centroids, ii)
+//! codebooks, and iii) encoded vectors"), so a model trained once can be
+//! reloaded by later sessions or other tools.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic   8 B   "ANNAIDX\x01"
+//! metric  1 B   0 = L2, 1 = inner product
+//! dim     4 B   u32
+//! |C|     4 B   u32
+//! m       4 B   u32
+//! k*      4 B   u32
+//! centroids   |C|·dim f32
+//! codebooks   m · k* · (dim/m) f32
+//! per cluster: len u64, ids len·u64, packed codes len·bytes_per_vec
+//! ```
+
+use crate::ivf::{Cluster, IvfPqIndex};
+use anna_quant::codes::{CodeWidth, PackedCodes};
+use anna_quant::kmeans::KMeans;
+use anna_quant::pq::PqCodebook;
+use anna_vector::{Metric, VectorSet};
+use std::io::{self, Read, Write};
+
+const MAGIC: [u8; 8] = *b"ANNAIDX\x01";
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn write_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn write_f32s<W: Write>(w: &mut W, vs: &[f32]) -> io::Result<()> {
+    for &v in vs {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Chunk size for incremental reads: a corrupted header must fail with an
+/// EOF error after at most one chunk of over-allocation, never by
+/// attempting a giant up-front allocation.
+const READ_CHUNK: usize = 1 << 16;
+
+fn read_bytes_chunked<R: Read>(r: &mut R, n: usize) -> io::Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(n.min(READ_CHUNK));
+    let mut remaining = n;
+    let mut chunk = [0u8; READ_CHUNK];
+    while remaining > 0 {
+        let take = remaining.min(READ_CHUNK);
+        r.read_exact(&mut chunk[..take])?;
+        out.extend_from_slice(&chunk[..take]);
+        remaining -= take;
+    }
+    Ok(out)
+}
+
+fn read_f32s<R: Read>(r: &mut R, n: usize) -> io::Result<Vec<f32>> {
+    let bytes = read_bytes_chunked(r, n.checked_mul(4).ok_or_else(|| bad("size overflow"))?)?;
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+/// Writes an index to `w`. A mutable reference can be passed for writers
+/// you want to keep using.
+///
+/// # Errors
+///
+/// Returns any I/O error from the writer.
+pub fn write_index<W: Write>(mut w: W, index: &IvfPqIndex) -> io::Result<()> {
+    w.write_all(&MAGIC)?;
+    w.write_all(&[match index.metric() {
+        Metric::L2 => 0u8,
+        Metric::InnerProduct => 1,
+    }])?;
+    write_u32(&mut w, index.dim() as u32)?;
+    write_u32(&mut w, index.num_clusters() as u32)?;
+    write_u32(&mut w, index.codebook().m() as u32)?;
+    write_u32(&mut w, index.codebook().kstar() as u32)?;
+
+    write_f32s(&mut w, index.centroids().as_slice())?;
+    for j in 0..index.codebook().m() {
+        write_f32s(&mut w, index.codebook().book(j).as_slice())?;
+    }
+    for i in 0..index.num_clusters() {
+        let cl = index.cluster(i);
+        write_u64(&mut w, cl.len() as u64)?;
+        for &id in &cl.ids {
+            write_u64(&mut w, id)?;
+        }
+        w.write_all(cl.codes.bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads an index from `r`. A mutable reference can be passed for readers
+/// you want to keep using.
+///
+/// # Errors
+///
+/// Returns an error on I/O failure, a bad magic/version, an unsupported
+/// metric or `k*`, or internally inconsistent sizes.
+pub fn read_index<R: Read>(mut r: R) -> io::Result<IvfPqIndex> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(bad("not an ANNA index file (bad magic or version)"));
+    }
+    let mut mb = [0u8; 1];
+    r.read_exact(&mut mb)?;
+    let metric = match mb[0] {
+        0 => Metric::L2,
+        1 => Metric::InnerProduct,
+        other => return Err(bad(format!("unknown metric tag {other}"))),
+    };
+    let dim = read_u32(&mut r)? as usize;
+    let c = read_u32(&mut r)? as usize;
+    let m = read_u32(&mut r)? as usize;
+    let kstar = read_u32(&mut r)? as usize;
+    if dim == 0 || c == 0 || m == 0 || dim % m != 0 || dim > 1 << 16 || c > 1 << 28 {
+        return Err(bad(format!("inconsistent header: dim={dim} |C|={c} m={m}")));
+    }
+    let width = match kstar {
+        16 => CodeWidth::U4,
+        256 => CodeWidth::U8,
+        other => return Err(bad(format!("unsupported k* {other}"))),
+    };
+
+    let centroids = VectorSet::from_vec(dim, read_f32s(&mut r, c * dim)?);
+    let sub = dim / m;
+    let mut books = Vec::with_capacity(m);
+    for _ in 0..m {
+        books.push(VectorSet::from_vec(sub, read_f32s(&mut r, kstar * sub)?));
+    }
+    let codebook = PqCodebook::from_books(books);
+
+    let mut clusters = Vec::with_capacity(c.min(READ_CHUNK));
+    for _ in 0..c {
+        let len = read_u64(&mut r)? as usize;
+        let id_bytes = read_bytes_chunked(
+            &mut r,
+            len.checked_mul(8)
+                .ok_or_else(|| bad("cluster size overflow"))?,
+        )?;
+        let ids: Vec<u64> = id_bytes
+            .chunks_exact(8)
+            .map(|b| u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+            .collect();
+        let code_bytes = read_bytes_chunked(
+            &mut r,
+            len.checked_mul(width.vector_bytes(m))
+                .ok_or_else(|| bad("cluster size overflow"))?,
+        )?;
+        clusters.push(Cluster {
+            ids,
+            codes: PackedCodes::from_bytes(m, width, len, code_bytes),
+        });
+    }
+
+    Ok(IvfPqIndex::from_parts(
+        metric,
+        KMeans::from_centroids(centroids),
+        codebook,
+        clusters,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ivf::IvfPqConfig;
+    use crate::SearchParams;
+
+    fn build(metric: Metric, kstar: usize) -> (VectorSet, IvfPqIndex) {
+        let data = VectorSet::from_fn(8, 400, |r, c| ((r * 13 + c * 5) % 23) as f32);
+        let index = IvfPqIndex::build(
+            &data,
+            &IvfPqConfig {
+                metric,
+                num_clusters: 6,
+                m: 4,
+                kstar,
+                ..IvfPqConfig::default()
+            },
+        );
+        (data, index)
+    }
+
+    #[test]
+    fn roundtrip_preserves_search_results() {
+        for metric in [Metric::L2, Metric::InnerProduct] {
+            for kstar in [16usize, 256] {
+                let (data, index) = build(metric, kstar);
+                let mut buf = Vec::new();
+                write_index(&mut buf, &index).unwrap();
+                let back = read_index(&buf[..]).unwrap();
+                assert_eq!(back.metric(), metric);
+                assert_eq!(back.num_vectors(), index.num_vectors());
+                let params = SearchParams {
+                    nprobe: 3,
+                    k: 5,
+                    ..Default::default()
+                };
+                for row in [0usize, 99, 399] {
+                    assert_eq!(
+                        back.search(data.row(row), &params),
+                        index.search(data.row(row), &params),
+                        "{metric} k*={kstar} row {row}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_byte_stable() {
+        let (_, index) = build(Metric::L2, 16);
+        let mut a = Vec::new();
+        write_index(&mut a, &index).unwrap();
+        let back = read_index(&a[..]).unwrap();
+        let mut b = Vec::new();
+        write_index(&mut b, &back).unwrap();
+        assert_eq!(a, b, "serialization not canonical");
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let (_, index) = build(Metric::L2, 16);
+        let mut buf = Vec::new();
+        write_index(&mut buf, &index).unwrap();
+        buf[0] ^= 0xFF;
+        assert!(read_index(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let (_, index) = build(Metric::L2, 16);
+        let mut buf = Vec::new();
+        write_index(&mut buf, &index).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(read_index(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn unsupported_kstar_in_header_rejected() {
+        let (_, index) = build(Metric::L2, 16);
+        let mut buf = Vec::new();
+        write_index(&mut buf, &index).unwrap();
+        // Patch the k* field (offset: 8 magic + 1 metric + 4 + 4 + 4).
+        let off = 8 + 1 + 12;
+        buf[off..off + 4].copy_from_slice(&32u32.to_le_bytes());
+        assert!(read_index(&buf[..]).is_err());
+    }
+}

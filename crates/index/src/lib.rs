@@ -1,0 +1,86 @@
+//! Two-level product-quantization ANNS (IVF-PQ) — the software side of the
+//! ANNA reproduction.
+//!
+//! This crate implements the complete search pipeline of Section II-C:
+//!
+//! 1. **Cluster filtering** — compute `s(q, c)` for every coarse centroid
+//!    and keep the `W` most similar clusters.
+//! 2. **Lookup-table construction** — memoize `q_i·B_i[·]` (inner product)
+//!    or `-‖(q_i − c_i) − B_i[·]‖²` (L2, rebuilt per cluster) — see
+//!    [`lut::Lut`].
+//! 3. **Similarity computation** — for each encoded vector in the selected
+//!    clusters, sum `M` table lookups and feed the score to a top-k
+//!    selector — see [`kernels`].
+//!
+//! Two execution schedules are provided, matching the two sides of the
+//! paper's Figure 5:
+//!
+//! * [`IvfPqIndex::search`] / [`IvfPqIndex::search_batch`] — conventional
+//!   query-at-a-time execution.
+//! * [`batched::BatchedScan`] — cluster-major batched execution in which
+//!   each cluster's codes are read once per batch (the software analogue of
+//!   ANNA's memory-traffic optimization, and of Faiss16's CPU schedule,
+//!   which the paper notes "processes queries in a way that is similar to
+//!   ANNA memory traffic optimization").
+//!
+//! Measured on the host, this crate *is* the reproduction's CPU baseline
+//! (substituting for Faiss/ScaNN binaries; see DESIGN.md).
+//!
+//! # Example
+//!
+//! ```
+//! use anna_index::{IvfPqConfig, IvfPqIndex, SearchParams};
+//! use anna_vector::{Metric, VectorSet};
+//!
+//! let data = VectorSet::from_fn(8, 512, |r, c| ((r * 31 + c * 7) % 29) as f32);
+//! let config = IvfPqConfig {
+//!     metric: Metric::L2,
+//!     num_clusters: 16,
+//!     m: 4,
+//!     kstar: 16,
+//!     ..IvfPqConfig::default()
+//! };
+//! let index = IvfPqIndex::build(&data, &config);
+//! let hits = index.search(data.row(42), &SearchParams { nprobe: 4, k: 5, ..Default::default() });
+//! assert_eq!(hits.len(), 5);
+//! assert!(hits[0].score >= hits[4].score); // best first
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod batched;
+pub mod io;
+pub mod ivf;
+pub mod kernels;
+pub mod lut;
+
+pub use batched::BatchedScan;
+pub use io::{read_index, write_index};
+pub use ivf::{IndexStats, IvfPqConfig, IvfPqIndex, SearchStats, Trainer};
+pub use lut::{Lut, LutPrecision};
+
+use serde::{Deserialize, Serialize};
+
+/// Per-query search parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SearchParams {
+    /// Number of clusters to inspect, `W` (the paper's recall/throughput
+    /// knob in Figure 8).
+    pub nprobe: usize,
+    /// Number of candidates to return (the paper uses `k = 1000`).
+    pub k: usize,
+    /// Numeric precision of lookup-table entries. [`LutPrecision::F16`]
+    /// replicates ANNA's 2-byte SRAM entries; [`LutPrecision::F32`] is what
+    /// CPU implementations use.
+    pub lut_precision: LutPrecision,
+}
+
+impl Default for SearchParams {
+    fn default() -> Self {
+        Self {
+            nprobe: 8,
+            k: 10,
+            lut_precision: LutPrecision::F32,
+        }
+    }
+}

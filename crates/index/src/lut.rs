@@ -1,0 +1,295 @@
+//! Lookup-table (LUT) construction — the memoization at the heart of
+//! PQ-based ANNS (Sections II-B and II-C of the paper).
+//!
+//! A LUT holds `M × k*` entries; entry `(i, c)` is the contribution of
+//! codeword `c` of codebook `B_i` to the similarity. With it, scoring one
+//! encoded vector costs `M` lookups and `M − 1` additions.
+
+use anna_quant::pq::PqCodebook;
+use anna_vector::{f16, metric};
+use serde::{Deserialize, Serialize};
+
+/// Precision at which LUT entries are stored.
+///
+/// ANNA's lookup-table SRAM stores 2-byte entries (`2·k*·M` bytes per SCM,
+/// Section III-B), so the hardware-faithful mode rounds every entry through
+/// binary16. CPU baselines keep f32.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LutPrecision {
+    /// 4-byte entries (software).
+    F32,
+    /// 2-byte entries rounded through IEEE binary16 (ANNA hardware).
+    F16,
+}
+
+/// A query's lookup tables: `m` tables of `k*` entries each, flattened
+/// row-major (`table major`: entry `(i, c)` at `i * kstar + c`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lut {
+    m: usize,
+    kstar: usize,
+    entries: Vec<f32>,
+    /// The cluster-invariant bias added to every score: `q · c⁽ʲ⁾` for the
+    /// inner-product metric, 0 for L2 (where the centroid is folded into
+    /// the table entries instead).
+    bias: f32,
+}
+
+impl Lut {
+    /// Builds the inner-product LUT: `L_i[c] = q_i · B_i[c]`, with bias
+    /// `q · centroid` to be added after reduction (Section II-C: "the term
+    /// q·c⁽ʲ⁾ needs to be added at the end").
+    ///
+    /// The same table serves every cluster; only the bias changes — use
+    /// [`Lut::with_bias`] to re-target it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q.len() != book.dim()`.
+    pub fn build_ip(q: &[f32], book: &PqCodebook, precision: LutPrecision) -> Self {
+        assert_eq!(q.len(), book.dim(), "query dimension mismatch");
+        let m = book.m();
+        let kstar = book.kstar();
+        let sub = book.sub_dim();
+        let mut entries = Vec::with_capacity(m * kstar);
+        for i in 0..m {
+            let qi = &q[i * sub..(i + 1) * sub];
+            for c in 0..kstar {
+                entries.push(metric::dot(qi, book.book(i).row(c)));
+            }
+        }
+        let mut lut = Self {
+            m,
+            kstar,
+            entries,
+            bias: 0.0,
+        };
+        lut.apply_precision(precision);
+        lut
+    }
+
+    /// Builds the L2 LUT for one selected cluster:
+    /// `L_i[c] = -‖(q_i − centroid_i) − B_i[c]‖²`.
+    ///
+    /// The table is cluster-dependent and must be rebuilt for every cluster
+    /// the query visits — the reason ANNA double-buffers LUT construction
+    /// against similarity computation (Section III-A).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions are inconsistent.
+    pub fn build_l2(
+        q: &[f32],
+        centroid: &[f32],
+        book: &PqCodebook,
+        precision: LutPrecision,
+    ) -> Self {
+        assert_eq!(q.len(), book.dim(), "query dimension mismatch");
+        assert_eq!(centroid.len(), book.dim(), "centroid dimension mismatch");
+        let m = book.m();
+        let kstar = book.kstar();
+        let sub = book.sub_dim();
+        let residual: Vec<f32> = metric::sub(q, centroid);
+        let mut entries = Vec::with_capacity(m * kstar);
+        for i in 0..m {
+            let ri = &residual[i * sub..(i + 1) * sub];
+            for c in 0..kstar {
+                entries.push(-metric::l2_squared(ri, book.book(i).row(c)));
+            }
+        }
+        let mut lut = Self {
+            m,
+            kstar,
+            entries,
+            bias: 0.0,
+        };
+        lut.apply_precision(precision);
+        lut
+    }
+
+    fn apply_precision(&mut self, precision: LutPrecision) {
+        if precision == LutPrecision::F16 {
+            f16::round_trip_slice(&mut self.entries);
+            self.bias = f16::round_trip(self.bias);
+        }
+    }
+
+    /// Returns a copy of this LUT with a different additive bias (used to
+    /// re-target the cluster-invariant inner-product table to another
+    /// cluster).
+    pub fn with_bias(&self, bias: f32) -> Self {
+        let mut out = self.clone();
+        out.bias = bias;
+        out
+    }
+
+    /// Number of tables (`M`).
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Entries per table (`k*`).
+    pub fn kstar(&self) -> usize {
+        self.kstar
+    }
+
+    /// The additive bias applied after reduction.
+    pub fn bias(&self) -> f32 {
+        self.bias
+    }
+
+    /// Looks up entry `c` of table `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    #[inline]
+    pub fn get(&self, i: usize, c: usize) -> f32 {
+        self.entries[i * self.kstar + c]
+    }
+
+    /// The flat entry buffer (`m × kstar`, table-major), for the scan
+    /// kernels.
+    pub fn entries(&self) -> &[f32] {
+        &self.entries
+    }
+
+    /// Storage footprint in bytes at the ANNA 2-byte entry size:
+    /// `2·k*·M` (Section III-B sizes the per-SCM lookup-table SRAM this
+    /// way — 32 KB for `k* = 256`, `M = 64`).
+    pub fn storage_bytes(&self) -> usize {
+        2 * self.kstar * self.m
+    }
+
+    /// Arithmetic cost of building this table, in multiply(-subtract)-add
+    /// operations — `k*·D` multiplies (Section II-B), used by the CPU/GPU
+    /// analytic models.
+    pub fn build_madds(&self, dim: usize) -> u64 {
+        self.kstar as u64 * dim as u64
+    }
+
+    /// Scores one decoded vector given its identifiers: `Σ L_i[e_i] + bias`
+    /// (the equation of Section II-B's "Efficient Similarity Computation
+    /// with Memoization").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codes.len() != self.m()` in debug builds.
+    #[inline]
+    pub fn score(&self, codes: &[u8]) -> f32 {
+        debug_assert_eq!(codes.len(), self.m);
+        let mut sum = 0.0f32;
+        for (i, &c) in codes.iter().enumerate() {
+            sum += self.entries[i * self.kstar + c as usize];
+        }
+        sum + self.bias
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anna_quant::pq::{PqCodebook, PqConfig};
+    use anna_vector::{Metric, VectorSet};
+
+    fn book() -> PqCodebook {
+        let data = VectorSet::from_fn(4, 64, |r, c| ((r * 13 + c * 5) % 11) as f32);
+        PqCodebook::train(
+            &data,
+            &PqConfig {
+                m: 2,
+                kstar: 4,
+                iters: 10,
+                seed: 0,
+            },
+        )
+    }
+
+    #[test]
+    fn ip_lut_score_matches_decoded_dot_product() {
+        let book = book();
+        let q = [1.0, 2.0, 3.0, 4.0];
+        let lut = Lut::build_ip(&q, &book, LutPrecision::F32);
+        for c0 in 0..4u8 {
+            for c1 in 0..4u8 {
+                let decoded = book.decode(&[c0, c1]);
+                let want = Metric::InnerProduct.similarity(&q, &decoded);
+                let got = lut.score(&[c0, c1]);
+                assert!(
+                    (want - got).abs() < 1e-4,
+                    "codes ({c0},{c1}): {want} vs {got}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn l2_lut_score_matches_decoded_distance() {
+        let book = book();
+        let q = [1.0, 2.0, 3.0, 4.0];
+        let centroid = [0.5, 0.5, 0.5, 0.5];
+        let lut = Lut::build_l2(&q, &centroid, &book, LutPrecision::F32);
+        for c0 in 0..4u8 {
+            for c1 in 0..4u8 {
+                // The approximate vector is centroid + residual codeword.
+                let r = book.decode(&[c0, c1]);
+                let approx: Vec<f32> = centroid.iter().zip(&r).map(|(a, b)| a + b).collect();
+                let want = Metric::L2.similarity(&q, &approx);
+                let got = lut.score(&[c0, c1]);
+                assert!(
+                    (want - got).abs() < 1e-4,
+                    "codes ({c0},{c1}): {want} vs {got}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ip_bias_is_centroid_dot_product() {
+        let book = book();
+        let q = [1.0, 0.0, 2.0, 0.0];
+        let centroid = [3.0, 1.0, 0.0, 1.0];
+        let lut = Lut::build_ip(&q, &book, LutPrecision::F32).with_bias(metric::dot(&q, &centroid));
+        assert_eq!(lut.bias(), 3.0);
+        let base = Lut::build_ip(&q, &book, LutPrecision::F32);
+        assert_eq!(lut.score(&[0, 0]), base.score(&[0, 0]) + 3.0);
+    }
+
+    #[test]
+    fn f16_precision_rounds_entries() {
+        let book = book();
+        let q = [0.1, 0.2, 0.3, 0.4];
+        let f32lut = Lut::build_ip(&q, &book, LutPrecision::F32);
+        let f16lut = Lut::build_ip(&q, &book, LutPrecision::F16);
+        for i in 0..f32lut.entries().len() {
+            let rounded = f16::round_trip(f32lut.entries()[i]);
+            assert_eq!(f16lut.entries()[i], rounded);
+        }
+    }
+
+    #[test]
+    fn storage_matches_sram_sizing() {
+        // Section III-B: 2·k*·M bytes; k*=256, M=64 -> 32 KB.
+        let data = VectorSet::from_fn(128, 300, |r, c| ((r + c * 3) % 13) as f32);
+        let book = PqCodebook::train(
+            &data,
+            &PqConfig {
+                m: 64,
+                kstar: 256,
+                iters: 1,
+                seed: 0,
+            },
+        );
+        let q = vec![0.0f32; 128];
+        let lut = Lut::build_ip(&q, &book, LutPrecision::F32);
+        assert_eq!(lut.storage_bytes(), 32768);
+    }
+
+    #[test]
+    fn get_agrees_with_score_for_single_table() {
+        let book = book();
+        let q = [1.0, 1.0, 1.0, 1.0];
+        let lut = Lut::build_ip(&q, &book, LutPrecision::F32);
+        assert_eq!(lut.score(&[2, 3]), lut.get(0, 2) + lut.get(1, 3));
+    }
+}

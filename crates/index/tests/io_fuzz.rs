@@ -1,0 +1,70 @@
+//! Robustness tests for the index binary reader: arbitrary corruption must
+//! produce an error, never a panic or a bogus index.
+
+use anna_index::{io, IvfPqConfig, IvfPqIndex};
+use anna_vector::{Metric, VectorSet};
+use proptest::prelude::*;
+
+fn serialized_index() -> Vec<u8> {
+    let data = VectorSet::from_fn(8, 200, |r, c| ((r * 13 + c * 5) % 23) as f32);
+    let index = IvfPqIndex::build(
+        &data,
+        &IvfPqConfig {
+            metric: Metric::L2,
+            num_clusters: 4,
+            m: 4,
+            kstar: 16,
+            coarse_iters: 3,
+            pq_iters: 2,
+            ..IvfPqConfig::default()
+        },
+    );
+    let mut buf = Vec::new();
+    io::write_index(&mut buf, &index).unwrap();
+    buf
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Truncating the stream anywhere yields an error, not a panic.
+    #[test]
+    fn truncation_never_panics(frac in 0.0f64..1.0) {
+        let buf = serialized_index();
+        let cut = ((buf.len() as f64) * frac) as usize;
+        let result = std::panic::catch_unwind(|| io::read_index(&buf[..cut]));
+        let inner = result.expect("reader panicked on truncated input");
+        if cut < buf.len() {
+            prop_assert!(inner.is_err(), "truncated read at {cut}/{} succeeded", buf.len());
+        }
+    }
+
+    /// Flipping bytes in the header region yields an error or a
+    /// well-formed (if meaningless) index, never a panic.
+    #[test]
+    fn header_corruption_never_panics(offset in 0usize..25, value in any::<u8>()) {
+        let mut buf = serialized_index();
+        if buf[offset] == value {
+            return Ok(()); // no-op mutation
+        }
+        buf[offset] = value;
+        let result = std::panic::catch_unwind(move || {
+            let _ = io::read_index(&buf[..]);
+        });
+        prop_assert!(result.is_ok(), "reader panicked on corrupt header byte {offset}");
+    }
+
+    /// Flipping bytes in the payload never panics either (codes and floats
+    /// are all valid bit patterns, so these reads may succeed — they must
+    /// just not crash).
+    #[test]
+    fn payload_corruption_never_panics(offset_frac in 0.1f64..1.0, value in any::<u8>()) {
+        let mut buf = serialized_index();
+        let offset = 25 + ((buf.len() - 26) as f64 * offset_frac) as usize;
+        buf[offset] = value;
+        let result = std::panic::catch_unwind(move || {
+            let _ = io::read_index(&buf[..]);
+        });
+        prop_assert!(result.is_ok(), "reader panicked on corrupt payload byte {offset}");
+    }
+}

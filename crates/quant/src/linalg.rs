@@ -1,0 +1,452 @@
+//! Tiny dense linear-algebra helpers for codebook optimization.
+//!
+//! The anisotropic codeword update (see [`crate::anisotropic`]) solves one
+//! small symmetric linear system per codeword (size `D/M`, typically 2–64).
+//! A dependency-free Gaussian elimination with partial pivoting is plenty at
+//! that scale.
+
+/// A small dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmallMat {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl SmallMat {
+    /// Creates an `n × n` zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn zeros(n: usize) -> Self {
+        assert!(n > 0, "matrix size must be positive");
+        Self {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Creates the identity matrix scaled by `s`.
+    pub fn scaled_identity(n: usize, s: f64) -> Self {
+        let mut m = Self::zeros(n);
+        for i in 0..n {
+            m[(i, i)] = s;
+        }
+        m
+    }
+
+    /// Matrix order.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Adds `s · u uᵀ` (a scaled outer product) to the matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u.len() != self.n()`.
+    pub fn add_outer(&mut self, u: &[f64], s: f64) {
+        assert_eq!(u.len(), self.n);
+        for i in 0..self.n {
+            let si = s * u[i];
+            for j in 0..self.n {
+                self.data[i * self.n + j] += si * u[j];
+            }
+        }
+    }
+
+    /// Adds another matrix element-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the orders differ.
+    pub fn add(&mut self, other: &SmallMat) {
+        assert_eq!(self.n, other.n);
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Matrix-vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.n()`.
+    pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.n);
+        (0..self.n)
+            .map(|i| (0..self.n).map(|j| self.data[i * self.n + j] * v[j]).sum())
+            .collect()
+    }
+
+    /// Solves `A x = b` by Gaussian elimination with partial pivoting.
+    ///
+    /// Returns `None` if the matrix is (numerically) singular.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.n()`.
+    pub fn solve(&self, b: &[f64]) -> Option<Vec<f64>> {
+        assert_eq!(b.len(), self.n);
+        let n = self.n;
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+
+        for col in 0..n {
+            // Partial pivot.
+            let (pivot_row, pivot_val) = (col..n)
+                .map(|r| (r, a[r * n + col].abs()))
+                .fold((col, 0.0), |acc, cur| if cur.1 > acc.1 { cur } else { acc });
+            if pivot_val < 1e-12 {
+                return None;
+            }
+            if pivot_row != col {
+                for j in 0..n {
+                    a.swap(col * n + j, pivot_row * n + j);
+                }
+                x.swap(col, pivot_row);
+            }
+            let inv = 1.0 / a[col * n + col];
+            for r in col + 1..n {
+                let f = a[r * n + col] * inv;
+                if f == 0.0 {
+                    continue;
+                }
+                for j in col..n {
+                    a[r * n + j] -= f * a[col * n + j];
+                }
+                x[r] -= f * x[col];
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            let mut s = x[col];
+            for j in col + 1..n {
+                s -= a[col * n + j] * x[j];
+            }
+            x[col] = s / a[col * n + col];
+        }
+        Some(x)
+    }
+}
+
+impl SmallMat {
+    /// Matrix-matrix product `self · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the orders differ.
+    pub fn mul(&self, other: &SmallMat) -> SmallMat {
+        assert_eq!(self.n, other.n);
+        let n = self.n;
+        let mut out = SmallMat::zeros(n);
+        for i in 0..n {
+            for k in 0..n {
+                let a = self.data[i * n + k];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    out.data[i * n + j] += a * other.data[k * n + j];
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> SmallMat {
+        let n = self.n;
+        let mut out = SmallMat::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                out.data[j * n + i] = self.data[i * n + j];
+            }
+        }
+        out
+    }
+
+    /// Eigendecomposition of a **symmetric** matrix by cyclic Jacobi
+    /// rotations: returns `(eigenvalues, V)` with `self ≈ V diag(λ) Vᵀ`,
+    /// `V` orthogonal (columns are eigenvectors).
+    ///
+    /// Intended for the small (`D ≤ 128`) systems of OPQ's Procrustes
+    /// step; converges to machine precision in a handful of sweeps.
+    pub fn jacobi_eigen(&self) -> (Vec<f64>, SmallMat) {
+        let n = self.n;
+        let mut a = self.clone();
+        let mut v = SmallMat::scaled_identity(n, 1.0);
+        for _sweep in 0..64 {
+            let mut off = 0.0f64;
+            for i in 0..n {
+                for j in i + 1..n {
+                    off += a.data[i * n + j] * a.data[i * n + j];
+                }
+            }
+            if off.sqrt() < 1e-12 {
+                break;
+            }
+            for p in 0..n {
+                for q in p + 1..n {
+                    let apq = a.data[p * n + q];
+                    if apq.abs() < 1e-300 {
+                        continue;
+                    }
+                    let app = a.data[p * n + p];
+                    let aqq = a.data[q * n + q];
+                    let theta = (aqq - app) / (2.0 * apq);
+                    let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                    let c = 1.0 / (t * t + 1.0).sqrt();
+                    let s = t * c;
+                    // A <- Jᵀ A J for the (p, q) rotation.
+                    for k in 0..n {
+                        let akp = a.data[k * n + p];
+                        let akq = a.data[k * n + q];
+                        a.data[k * n + p] = c * akp - s * akq;
+                        a.data[k * n + q] = s * akp + c * akq;
+                    }
+                    for k in 0..n {
+                        let apk = a.data[p * n + k];
+                        let aqk = a.data[q * n + k];
+                        a.data[p * n + k] = c * apk - s * aqk;
+                        a.data[q * n + k] = s * apk + c * aqk;
+                    }
+                    for k in 0..n {
+                        let vkp = v.data[k * n + p];
+                        let vkq = v.data[k * n + q];
+                        v.data[k * n + p] = c * vkp - s * vkq;
+                        v.data[k * n + q] = s * vkp + c * vkq;
+                    }
+                }
+            }
+        }
+        let eig = (0..n).map(|i| a.data[i * n + i]).collect();
+        (eig, v)
+    }
+
+    /// The orthogonal polar factor of the matrix — the solution `R = U Vᵀ`
+    /// of the orthogonal Procrustes problem for `M = U Σ Vᵀ`.
+    ///
+    /// Computed through the Jacobi eigendecomposition of the augmented
+    /// symmetric matrix `[[0, Mᵀ], [M, 0]]`, whose positive eigenpairs
+    /// `σᵢ, [vᵢ; uᵢ]/√2` give the SVD without squaring the condition
+    /// number (unlike the `(MᵀM)^{-1/2}` route, which loses orthogonality
+    /// on ill-conditioned cross-covariances).
+    ///
+    /// Returns `None` if the matrix is numerically rank-deficient.
+    pub fn polar_orthogonal(&self) -> Option<SmallMat> {
+        let n = self.n;
+        let mut aug = SmallMat::zeros(2 * n);
+        for i in 0..n {
+            for j in 0..n {
+                let m = self.data[i * n + j];
+                aug[(j, n + i)] = m; // Mᵀ block (top-right)
+                aug[(n + i, j)] = m; // M block (bottom-left)
+            }
+        }
+        let (eig, w) = aug.jacobi_eigen();
+        // Pick the n largest eigenvalues (the +σ side).
+        let mut order: Vec<usize> = (0..2 * n).collect();
+        order.sort_by(|&a, &b| eig[b].partial_cmp(&eig[a]).unwrap());
+        let sigma_max = eig[order[0]].max(0.0);
+        if sigma_max <= 0.0 {
+            return None;
+        }
+        let mut r = SmallMat::zeros(n);
+        for &k in order.iter().take(n) {
+            if eig[k] <= sigma_max * 1e-9 {
+                return None; // rank deficient
+            }
+            // Eigenvector [v; u]/√2: v in rows 0..n, u in rows n..2n.
+            // R = U Vᵀ = Σᵢ uᵢ vᵢᵀ (the 1/√2 factors cancel after the
+            // 2x from uᵢvᵢᵀ normalization: (√2 u)(√2 v)ᵀ/2).
+            for i in 0..n {
+                let u = w[(n + i, k)];
+                if u == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    r.data[i * n + j] += 2.0 * u * w[(j, k)];
+                }
+            }
+        }
+        Some(r)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for SmallMat {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.n + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for SmallMat {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.n + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solve_returns_rhs() {
+        let m = SmallMat::scaled_identity(3, 1.0);
+        let x = m.solve(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solves_known_system() {
+        // [2 1; 1 3] x = [5; 10] -> x = [1; 3]
+        let mut m = SmallMat::zeros(2);
+        m[(0, 0)] = 2.0;
+        m[(0, 1)] = 1.0;
+        m[(1, 0)] = 1.0;
+        m[(1, 1)] = 3.0;
+        let x = m.solve(&[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn singular_matrix_returns_none() {
+        let mut m = SmallMat::zeros(2);
+        m[(0, 0)] = 1.0;
+        m[(0, 1)] = 2.0;
+        m[(1, 0)] = 2.0;
+        m[(1, 1)] = 4.0;
+        assert!(m.solve(&[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let mut m = SmallMat::zeros(2);
+        m[(0, 0)] = 0.0;
+        m[(0, 1)] = 1.0;
+        m[(1, 0)] = 1.0;
+        m[(1, 1)] = 0.0;
+        let x = m.solve(&[7.0, 9.0]).unwrap();
+        assert!((x[0] - 9.0).abs() < 1e-12);
+        assert!((x[1] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outer_product_accumulates() {
+        let mut m = SmallMat::zeros(2);
+        m.add_outer(&[1.0, 2.0], 2.0);
+        assert_eq!(m[(0, 0)], 2.0);
+        assert_eq!(m[(0, 1)], 4.0);
+        assert_eq!(m[(1, 1)], 8.0);
+    }
+
+    #[test]
+    fn jacobi_diagonalizes_symmetric_matrix() {
+        // A = [[4, 1, 0], [1, 3, 1], [0, 1, 2]] is symmetric.
+        let mut a = SmallMat::zeros(3);
+        a[(0, 0)] = 4.0;
+        a[(0, 1)] = 1.0;
+        a[(1, 0)] = 1.0;
+        a[(1, 1)] = 3.0;
+        a[(1, 2)] = 1.0;
+        a[(2, 1)] = 1.0;
+        a[(2, 2)] = 2.0;
+        let (eig, v) = a.jacobi_eigen();
+        // Reconstruct V diag(eig) Vᵀ and compare.
+        let mut recon = SmallMat::zeros(3);
+        for i in 0..3 {
+            for r in 0..3 {
+                for c in 0..3 {
+                    recon[(r, c)] += v[(r, i)] * eig[i] * v[(c, i)];
+                }
+            }
+        }
+        for r in 0..3 {
+            for c in 0..3 {
+                assert!((recon[(r, c)] - a[(r, c)]).abs() < 1e-9);
+            }
+        }
+        // Trace and determinant invariants.
+        let trace: f64 = eig.iter().sum();
+        assert!((trace - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jacobi_eigenvectors_are_orthonormal() {
+        let mut a = SmallMat::zeros(4);
+        for i in 0..4 {
+            for j in 0..4 {
+                a[(i, j)] = 1.0 / (1.0 + (i as f64 - j as f64).abs());
+            }
+        }
+        let (_, v) = a.jacobi_eigen();
+        let vtv = v.transpose().mul(&v);
+        for i in 0..4 {
+            for j in 0..4 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!(
+                    (vtv[(i, j)] - want).abs() < 1e-9,
+                    "VᵀV[{i}{j}] = {}",
+                    vtv[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn polar_factor_of_orthogonal_matrix_is_itself() {
+        // A rotation by 30 degrees.
+        let (c, s) = (0.5f64.sqrt(), 0.5f64.sqrt());
+        let mut r = SmallMat::zeros(2);
+        r[(0, 0)] = c;
+        r[(0, 1)] = -s;
+        r[(1, 0)] = s;
+        r[(1, 1)] = c;
+        let p = r.polar_orthogonal().unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((p[(i, j)] - r[(i, j)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn polar_factor_is_orthogonal() {
+        let mut m = SmallMat::zeros(3);
+        let mut x = 1.0;
+        for i in 0..3 {
+            for j in 0..3 {
+                x = (x * 1.7 + 0.3) % 2.0;
+                m[(i, j)] = x + if i == j { 2.0 } else { 0.0 };
+            }
+        }
+        let r = m.polar_orthogonal().unwrap();
+        let rtr = r.transpose().mul(&r);
+        for i in 0..3 {
+            for j in 0..3 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((rtr[(i, j)] - want).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn polar_factor_of_singular_matrix_is_none() {
+        let m = SmallMat::zeros(2);
+        assert!(m.polar_orthogonal().is_none());
+    }
+
+    #[test]
+    fn solve_matches_mul_vec_roundtrip() {
+        let mut m = SmallMat::scaled_identity(4, 3.0);
+        m.add_outer(&[1.0, -1.0, 0.5, 2.0], 0.7);
+        let want = vec![0.3, -1.2, 4.5, 0.01];
+        let b = m.mul_vec(&want);
+        let got = m.solve(&b).unwrap();
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-9);
+        }
+    }
+}

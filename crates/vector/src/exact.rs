@@ -1,0 +1,154 @@
+//! Exhaustive (exact) k-nearest-neighbor search.
+//!
+//! Computes the similarity between every query and every database vector and
+//! keeps the top-k — the "naïve" search of Section II-A, whose cost
+//! (`N·D` multiply-adds and `2·N·D` bytes of traffic per query at float16)
+//! motivates the whole paper. It serves two roles here:
+//!
+//! 1. Ground truth for recall measurement (`anna-data`).
+//! 2. The "exhaustive, exact nearest neighbor search" QPS footnote under
+//!    each plot of Figure 8 (`anna-baseline::exhaustive`).
+
+use crate::matrix::VectorSet;
+use crate::metric::Metric;
+use crate::topk::{Neighbor, TopK};
+
+/// Searches every query in `queries` against every vector in `db`, returning
+/// the `k` most similar database ids per query (best first).
+///
+/// Queries are processed in parallel across all available cores with scoped
+/// threads; results are returned in query order.
+///
+/// # Panics
+///
+/// Panics if the dimensions of `queries` and `db` differ, or `k == 0`.
+///
+/// # Example
+///
+/// ```
+/// use anna_vector::{exact, Metric, VectorSet};
+///
+/// let db = VectorSet::from_rows(2, &[0.0, 0.0, 1.0, 1.0, 2.0, 2.0]);
+/// let q = VectorSet::from_rows(2, &[1.9, 1.9]);
+/// let hits = exact::search(&q, &db, Metric::L2, 1);
+/// assert_eq!(hits[0][0].id, 2);
+/// ```
+pub fn search(queries: &VectorSet, db: &VectorSet, metric: Metric, k: usize) -> Vec<Vec<Neighbor>> {
+    assert_eq!(queries.dim(), db.dim(), "query/database dimension mismatch");
+    assert!(k > 0, "k must be positive");
+
+    let nq = queries.len();
+    let mut results: Vec<Vec<Neighbor>> = vec![Vec::new(); nq];
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let chunk = nq.div_ceil(threads.max(1)).max(1);
+
+    crossbeam::thread::scope(|s| {
+        for (qchunk, out) in queries
+            .as_slice()
+            .chunks(chunk * queries.dim())
+            .zip(results.chunks_mut(chunk))
+        {
+            s.spawn(move |_| {
+                for (qi, q) in qchunk.chunks_exact(db.dim()).enumerate() {
+                    out[qi] = search_one(q, db, metric, k);
+                }
+            });
+        }
+    })
+    .expect("exact search worker panicked");
+
+    results
+}
+
+/// Searches a single query against every vector in `db`.
+///
+/// # Panics
+///
+/// Panics if `q.len() != db.dim()` or `k == 0`.
+pub fn search_one(q: &[f32], db: &VectorSet, metric: Metric, k: usize) -> Vec<Neighbor> {
+    assert_eq!(q.len(), db.dim(), "query/database dimension mismatch");
+    let mut top = TopK::new(k);
+    for (id, x) in db.iter().enumerate() {
+        top.push(id as u64, metric.similarity(q, x));
+    }
+    top.into_sorted_vec()
+}
+
+/// The number of multiply-add operations an exhaustive search performs per
+/// query (Section II-A: `N·D`).
+pub fn madd_ops_per_query(db: &VectorSet) -> u64 {
+    db.len() as u64 * db.dim() as u64
+}
+
+/// The bytes of memory traffic an exhaustive search reads per query at
+/// 2-byte (float16) storage (Section II-A: `2·N·D`).
+pub fn bytes_per_query(db: &VectorSet) -> u64 {
+    2 * madd_ops_per_query(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_db() -> VectorSet {
+        // 16 points on a line: (0,0), (1,1), ..., (15,15).
+        VectorSet::from_fn(2, 16, |r, _| r as f32)
+    }
+
+    #[test]
+    fn l2_finds_nearest_point() {
+        let db = grid_db();
+        let q = VectorSet::from_rows(2, &[6.3, 6.3]);
+        let hits = search(&q, &db, Metric::L2, 3);
+        let ids: Vec<u64> = hits[0].iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![6, 7, 5]);
+    }
+
+    #[test]
+    fn inner_product_prefers_largest_vector() {
+        let db = grid_db();
+        let q = VectorSet::from_rows(2, &[1.0, 1.0]);
+        let hits = search(&q, &db, Metric::InnerProduct, 2);
+        assert_eq!(hits[0][0].id, 15);
+        assert_eq!(hits[0][1].id, 14);
+    }
+
+    #[test]
+    fn multiple_queries_return_in_order() {
+        let db = grid_db();
+        let q = VectorSet::from_rows(2, &[0.1, 0.1, 14.9, 14.9, 8.0, 8.0]);
+        let hits = search(&q, &db, Metric::L2, 1);
+        assert_eq!(hits.len(), 3);
+        assert_eq!(hits[0][0].id, 0);
+        assert_eq!(hits[1][0].id, 15);
+        assert_eq!(hits[2][0].id, 8);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let db = VectorSet::from_fn(4, 200, |r, c| ((r * 7 + c * 13) % 31) as f32);
+        let q = VectorSet::from_fn(4, 37, |r, c| ((r * 5 + c * 3) % 17) as f32);
+        let par = search(&q, &db, Metric::L2, 5);
+        for (qi, hits) in par.iter().enumerate() {
+            let serial = search_one(q.row(qi), &db, Metric::L2, 5);
+            assert_eq!(hits, &serial, "query {qi} diverged");
+        }
+    }
+
+    #[test]
+    fn cost_model_matches_section_2a() {
+        let db = VectorSet::zeros(128, 1000);
+        assert_eq!(madd_ops_per_query(&db), 128_000);
+        assert_eq!(bytes_per_query(&db), 256_000);
+    }
+
+    #[test]
+    fn k_larger_than_db_returns_everything() {
+        let db = grid_db();
+        let q = VectorSet::from_rows(2, &[0.0, 0.0]);
+        let hits = search(&q, &db, Metric::L2, 100);
+        assert_eq!(hits[0].len(), 16);
+    }
+}

@@ -1,0 +1,222 @@
+//! Minimal IEEE 754 binary16 ("half precision") conversions.
+//!
+//! The paper assumes 2-byte (float16) storage for vector elements and
+//! lookup-table entries (Sections II-B, III-B, IV-B: LUT entries and
+//! similarity scores are 2 B each; top-k spill records carry a 2 B score).
+//! The accelerator model uses [`F16`] at those boundaries so that on-chip
+//! precision and all byte-traffic accounting match the hardware.
+//!
+//! Only the conversions the workspace needs are implemented; this is not a
+//! general arithmetic type (hardware compute units operate internally at
+//! higher precision and round on store, which is what we model).
+
+use serde::{Deserialize, Serialize};
+
+/// An IEEE 754 binary16 value stored as its raw bit pattern.
+///
+/// # Example
+///
+/// ```
+/// use anna_vector::F16;
+///
+/// let h = F16::from_f32(1.5);
+/// assert_eq!(h.to_f32(), 1.5);
+/// // Values are rounded to the nearest representable half.
+/// let r = F16::from_f32(1.0009766).to_f32();
+/// assert!((r - 1.0009766).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct F16(u16);
+
+impl F16 {
+    /// Positive zero.
+    pub const ZERO: F16 = F16(0);
+    /// The most negative finite half value (used to initialize top-k state).
+    pub const MIN: F16 = F16(0xFBFF);
+    /// The most positive finite half value.
+    pub const MAX: F16 = F16(0x7BFF);
+
+    /// Converts from `f32` with round-to-nearest-even, clamping overflow to
+    /// infinity as IEEE conversion does.
+    pub fn from_f32(v: f32) -> Self {
+        let bits = v.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp = ((bits >> 23) & 0xFF) as i32;
+        let frac = bits & 0x007F_FFFF;
+
+        if exp == 0xFF {
+            // Inf or NaN.
+            let payload = if frac != 0 { 0x0200 } else { 0 };
+            return F16(sign | 0x7C00 | payload);
+        }
+
+        // Re-bias exponent from 127 to 15.
+        let unbiased = exp - 127;
+        if unbiased > 15 {
+            return F16(sign | 0x7C00); // overflow -> inf
+        }
+        if unbiased >= -14 {
+            // Normal half. Keep 10 fraction bits, round-to-nearest-even.
+            let half_exp = (unbiased + 15) as u16;
+            let shift = 13;
+            let mut mant = frac >> shift;
+            let rem = frac & ((1 << shift) - 1);
+            let halfway = 1 << (shift - 1);
+            if rem > halfway || (rem == halfway && (mant & 1) == 1) {
+                mant += 1;
+            }
+            // Mantissa overflow propagates into the exponent correctly
+            // because the encodings are adjacent.
+            return F16(sign.wrapping_add((half_exp << 10).wrapping_add(mant as u16)));
+        }
+        if unbiased >= -24 {
+            // Subnormal half: value = full * 2^(unbiased-23) with
+            // full = 1.frac as a 24-bit integer, and the subnormal unit is
+            // 2^-24, so mant = full >> (-unbiased - 1).
+            let full = frac | 0x0080_0000; // implicit leading 1
+            let sh = (-unbiased - 1) as u32;
+            let mut mant = full >> sh;
+            let rem = full & ((1u32 << sh) - 1);
+            let halfway = 1u32 << (sh - 1);
+            if rem > halfway || (rem == halfway && (mant & 1) == 1) {
+                mant += 1;
+            }
+            return F16(sign | mant as u16);
+        }
+        F16(sign) // underflow to zero
+    }
+
+    /// Converts to `f32` exactly (every half is representable as a float).
+    pub fn to_f32(self) -> f32 {
+        let sign = ((self.0 & 0x8000) as u32) << 16;
+        let exp = ((self.0 >> 10) & 0x1F) as u32;
+        let frac = (self.0 & 0x03FF) as u32;
+        let bits = if exp == 0 {
+            if frac == 0 {
+                sign // signed zero
+            } else {
+                // Subnormal half: normalize.
+                let mut e = 127 - 15 - 10;
+                let mut f = frac;
+                while f & 0x0400 == 0 {
+                    f <<= 1;
+                    e -= 1;
+                }
+                f &= 0x03FF;
+                sign | (((e + 10 + 1) as u32) << 23) | (f << 13)
+            }
+        } else if exp == 0x1F {
+            sign | 0x7F80_0000 | (frac << 13) // inf / nan
+        } else {
+            sign | ((exp + 127 - 15) << 23) | (frac << 13)
+        };
+        f32::from_bits(bits)
+    }
+
+    /// Raw bit pattern.
+    pub fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Constructs from a raw bit pattern.
+    pub fn from_bits(bits: u16) -> Self {
+        F16(bits)
+    }
+}
+
+impl From<F16> for f32 {
+    fn from(h: F16) -> f32 {
+        h.to_f32()
+    }
+}
+
+/// Rounds an `f32` through binary16 and back, modeling a store to a 2-byte
+/// SRAM or DRAM location followed by a load.
+///
+/// # Example
+///
+/// ```
+/// let v = anna_vector::f16::round_trip(3.14159);
+/// assert!((v - 3.14159).abs() < 2e-3);
+/// ```
+#[inline]
+pub fn round_trip(v: f32) -> f32 {
+    F16::from_f32(v).to_f32()
+}
+
+/// Rounds every element of a slice through binary16 in place.
+pub fn round_trip_slice(vs: &mut [f32]) {
+    for v in vs {
+        *v = round_trip(*v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_integers_roundtrip() {
+        for i in -2048..=2048 {
+            let v = i as f32;
+            assert_eq!(round_trip(v), v, "integer {i} should be exact in f16");
+        }
+    }
+
+    #[test]
+    fn powers_of_two_roundtrip() {
+        for e in -14..=15 {
+            let v = (2.0f32).powi(e);
+            assert_eq!(round_trip(v), v);
+        }
+    }
+
+    #[test]
+    fn subnormals_roundtrip() {
+        let tiny = (2.0f32).powi(-24); // smallest positive half subnormal
+        assert_eq!(round_trip(tiny), tiny);
+        let sub = 3.0 * (2.0f32).powi(-24);
+        assert_eq!(round_trip(sub), sub);
+    }
+
+    #[test]
+    fn underflow_to_zero() {
+        assert_eq!(round_trip((2.0f32).powi(-26)), 0.0);
+    }
+
+    #[test]
+    fn overflow_to_infinity() {
+        assert!(round_trip(1.0e6).is_infinite());
+        assert!(round_trip(-1.0e6).is_infinite());
+        assert!(round_trip(-1.0e6) < 0.0);
+    }
+
+    #[test]
+    fn max_and_min_constants() {
+        assert_eq!(F16::MAX.to_f32(), 65504.0);
+        assert_eq!(F16::MIN.to_f32(), -65504.0);
+    }
+
+    #[test]
+    fn nan_is_preserved_as_nan() {
+        assert!(round_trip(f32::NAN).is_nan());
+    }
+
+    #[test]
+    fn rounding_error_is_bounded_by_relative_epsilon() {
+        // Half has 11 significand bits -> relative error <= 2^-11.
+        let vals = [0.1f32, 0.3333, 123.456, 0.00123, 999.5];
+        for &v in &vals {
+            let r = round_trip(v);
+            assert!(
+                (r - v).abs() <= v.abs() * (2.0f32).powi(-11),
+                "value {v} rounded to {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn negative_values_keep_sign() {
+        assert_eq!(round_trip(-2.5), -2.5);
+    }
+}

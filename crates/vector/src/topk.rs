@@ -1,0 +1,274 @@
+//! Bounded top-k selection.
+//!
+//! [`TopK`] keeps the `k` candidates with the highest similarity seen so
+//! far, discarding the rest — the software analogue of ANNA's top-k
+//! selection unit (Section III-B(4)): "if the provided input is larger than
+//! the minimum of the currently tracked ones, the input is added to the
+//! structure, and the already tracked entry with the smallest score is
+//! discarded."
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A search hit: a database vector id and its similarity to the query
+/// (larger = more similar).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Neighbor {
+    /// Database vector id.
+    pub id: u64,
+    /// Similarity score (inner product, or negative squared L2 distance).
+    pub score: f32,
+}
+
+impl Neighbor {
+    /// Creates a neighbor record.
+    pub fn new(id: u64, score: f32) -> Self {
+        Self { id, score }
+    }
+}
+
+impl Eq for Neighbor {}
+
+impl Ord for Neighbor {
+    /// Orders so that "greater" means "better": higher score wins, and for
+    /// equal scores the lower id wins, making selection deterministic. NaN
+    /// scores sort below all others.
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.score
+            .partial_cmp(&other.score)
+            .unwrap_or_else(|| {
+                // Treat NaN as the worst score.
+                match (self.score.is_nan(), other.score.is_nan()) {
+                    (true, false) => Ordering::Less,
+                    (false, true) => Ordering::Greater,
+                    _ => Ordering::Equal,
+                }
+            })
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+impl PartialOrd for Neighbor {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Keeps the `k` highest-score [`Neighbor`]s pushed into it.
+///
+/// Internally a min-heap on score: the root is the current worst of the
+/// kept set, so each push is an O(log k) comparison against the worst.
+///
+/// # Example
+///
+/// ```
+/// use anna_vector::TopK;
+///
+/// let mut top = TopK::new(2);
+/// top.push(0, 1.0);
+/// top.push(1, 5.0);
+/// top.push(2, 3.0);
+/// let hits = top.into_sorted_vec();
+/// assert_eq!(hits.len(), 2);
+/// assert_eq!(hits[0].id, 1); // best first
+/// assert_eq!(hits[1].id, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TopK {
+    k: usize,
+    // Min-heap on score: BinaryHeap is a max-heap, so store reversed.
+    heap: BinaryHeap<std::cmp::Reverse<Neighbor>>,
+}
+
+impl TopK {
+    /// Creates a selector that keeps the best `k` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "top-k requires k > 0");
+        Self {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// The configured `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The number of entries currently tracked (`<= k`).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no entries have been accepted yet.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The current worst kept score, or `None` until `k` entries have been
+    /// accepted. Scores below this threshold are guaranteed to be rejected.
+    pub fn threshold(&self) -> Option<f32> {
+        if self.heap.len() < self.k {
+            None
+        } else {
+            self.heap.peek().map(|r| r.0.score)
+        }
+    }
+
+    /// Offers a candidate; keeps it only if it beats the current worst (or
+    /// the selector is not yet full). Returns `true` if the candidate was
+    /// kept.
+    pub fn push(&mut self, id: u64, score: f32) -> bool {
+        if score.is_nan() {
+            return false;
+        }
+        let n = Neighbor::new(id, score);
+        if self.heap.len() < self.k {
+            self.heap.push(std::cmp::Reverse(n));
+            return true;
+        }
+        let worst = self
+            .heap
+            .peek()
+            .expect("heap is full therefore non-empty")
+            .0;
+        if n > worst {
+            self.heap.pop();
+            self.heap.push(std::cmp::Reverse(n));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Merges another selector's contents into this one.
+    pub fn merge(&mut self, other: &TopK) {
+        for r in other.heap.iter() {
+            self.push(r.0.id, r.0.score);
+        }
+    }
+
+    /// Consumes the selector and returns the kept entries, best first.
+    pub fn into_sorted_vec(self) -> Vec<Neighbor> {
+        let mut v: Vec<Neighbor> = self.heap.into_iter().map(|r| r.0).collect();
+        v.sort_by(|a, b| b.cmp(a));
+        v
+    }
+}
+
+impl Extend<Neighbor> for TopK {
+    fn extend<T: IntoIterator<Item = Neighbor>>(&mut self, iter: T) {
+        for n in iter {
+            self.push(n.id, n.score);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_best_k() {
+        let mut t = TopK::new(3);
+        for (id, s) in [(0, 1.0), (1, 9.0), (2, 2.0), (3, 8.0), (4, 5.0)] {
+            t.push(id, s);
+        }
+        let ids: Vec<u64> = t.into_sorted_vec().iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn threshold_is_none_until_full() {
+        let mut t = TopK::new(2);
+        assert!(t.threshold().is_none());
+        t.push(0, 1.0);
+        assert!(t.threshold().is_none());
+        t.push(1, 2.0);
+        assert_eq!(t.threshold(), Some(1.0));
+    }
+
+    #[test]
+    fn rejects_below_threshold() {
+        let mut t = TopK::new(1);
+        assert!(t.push(0, 5.0));
+        assert!(!t.push(1, 4.0));
+        assert!(t.push(2, 6.0));
+        assert_eq!(t.into_sorted_vec()[0].id, 2);
+    }
+
+    #[test]
+    fn ties_break_toward_lower_id() {
+        let mut t = TopK::new(1);
+        t.push(7, 5.0);
+        assert!(!t.push(9, 5.0), "equal score, higher id must lose");
+        let mut t2 = TopK::new(1);
+        t2.push(9, 5.0);
+        assert!(t2.push(7, 5.0), "equal score, lower id must win");
+    }
+
+    #[test]
+    fn nan_scores_are_rejected() {
+        let mut t = TopK::new(2);
+        assert!(!t.push(0, f32::NAN));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn merge_combines_selectors() {
+        let mut a = TopK::new(2);
+        a.push(0, 1.0);
+        a.push(1, 2.0);
+        let mut b = TopK::new(2);
+        b.push(2, 3.0);
+        b.push(3, 0.5);
+        a.merge(&b);
+        let ids: Vec<u64> = a.into_sorted_vec().iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![2, 1]);
+    }
+
+    #[test]
+    fn extend_accepts_neighbors() {
+        let mut t = TopK::new(2);
+        t.extend(vec![
+            Neighbor::new(0, 1.0),
+            Neighbor::new(1, 3.0),
+            Neighbor::new(2, 2.0),
+        ]);
+        assert_eq!(t.into_sorted_vec()[0].id, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "k > 0")]
+    fn zero_k_rejected() {
+        let _ = TopK::new(0);
+    }
+
+    #[test]
+    fn matches_full_sort_on_random_input() {
+        // Deterministic pseudo-random stream without the rand crate.
+        let mut state = 0x1234_5678u64;
+        let mut scores = Vec::new();
+        for i in 0..500u64 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let s = ((state >> 33) as f32) / (u32::MAX as f32);
+            scores.push((i, s));
+        }
+        let mut t = TopK::new(10);
+        for &(id, s) in &scores {
+            t.push(id, s);
+        }
+        let got: Vec<u64> = t.into_sorted_vec().iter().map(|n| n.id).collect();
+        let mut sorted = scores.clone();
+        sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        let want: Vec<u64> = sorted.iter().take(10).map(|&(id, _)| id).collect();
+        assert_eq!(got, want);
+    }
+}

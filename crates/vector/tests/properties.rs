@@ -1,0 +1,98 @@
+//! Property-based tests for the vector substrate.
+
+use anna_vector::{exact, f16, Metric, TopK, VectorSet};
+use proptest::prelude::*;
+
+fn finite_f32() -> impl Strategy<Value = f32> {
+    // Stay within f16's dynamic range so round-trips remain finite.
+    -6.0e4f32..6.0e4f32
+}
+
+proptest! {
+    /// f32 -> f16 -> f32 error is within half-precision relative epsilon
+    /// (2^-11) for values in the normal range.
+    #[test]
+    fn f16_round_trip_error_bounded(v in -6.0e4f32..6.0e4f32) {
+        let r = f16::round_trip(v);
+        let tol = v.abs().max(f32::from(anna_vector::F16::from_bits(0x0400))) * 2.0f32.powi(-11);
+        prop_assert!((r - v).abs() <= tol.max(2.0f32.powi(-24)), "v={v} r={r}");
+    }
+
+    /// Round-tripping is idempotent: a value already representable in f16
+    /// maps to itself.
+    #[test]
+    fn f16_round_trip_idempotent(v in finite_f32()) {
+        let once = f16::round_trip(v);
+        let twice = f16::round_trip(once);
+        prop_assert_eq!(once.to_bits(), twice.to_bits());
+    }
+
+    /// f16 conversion preserves ordering (monotone).
+    #[test]
+    fn f16_conversion_is_monotone(a in finite_f32(), b in finite_f32()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(f16::round_trip(lo) <= f16::round_trip(hi));
+    }
+
+    /// L2 similarity is symmetric and maximized by self-similarity.
+    #[test]
+    fn l2_symmetric_and_self_maximal(
+        a in prop::collection::vec(-100.0f32..100.0, 8),
+        b in prop::collection::vec(-100.0f32..100.0, 8),
+    ) {
+        let sab = Metric::L2.similarity(&a, &b);
+        let sba = Metric::L2.similarity(&b, &a);
+        prop_assert!((sab - sba).abs() <= 1e-2 * (1.0 + sab.abs()));
+        prop_assert!(Metric::L2.similarity(&a, &a) >= sab - 1e-3);
+        prop_assert!(sab <= 0.0);
+    }
+
+    /// Inner product is bilinear in its first argument (up to float error).
+    #[test]
+    fn inner_product_scales_linearly(
+        a in prop::collection::vec(-10.0f32..10.0, 16),
+        b in prop::collection::vec(-10.0f32..10.0, 16),
+        c in -4.0f32..4.0,
+    ) {
+        let scaled: Vec<f32> = a.iter().map(|x| x * c).collect();
+        let lhs = Metric::InnerProduct.similarity(&scaled, &b);
+        let rhs = c * Metric::InnerProduct.similarity(&a, &b);
+        prop_assert!((lhs - rhs).abs() <= 1e-2 * (1.0 + rhs.abs()));
+    }
+
+    /// TopK returns exactly what a full sort would.
+    #[test]
+    fn topk_matches_sort(scores in prop::collection::vec(-1.0e3f32..1.0e3, 1..200), k in 1usize..20) {
+        let mut t = TopK::new(k);
+        for (id, &s) in scores.iter().enumerate() {
+            t.push(id as u64, s);
+        }
+        let got: Vec<u64> = t.into_sorted_vec().iter().map(|n| n.id).collect();
+
+        let mut all: Vec<(u64, f32)> = scores.iter().cloned().enumerate()
+            .map(|(i, s)| (i as u64, s)).collect();
+        all.sort_by(|x, y| y.1.partial_cmp(&x.1).unwrap().then(x.0.cmp(&y.0)));
+        let want: Vec<u64> = all.iter().take(k).map(|&(i, _)| i).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Exact search's first hit for an L2 query that equals a database row
+    /// is that row.
+    #[test]
+    fn exact_search_finds_identical_vector(
+        rows in prop::collection::vec(prop::collection::vec(-50.0f32..50.0, 4), 2..40),
+        pick in any::<prop::sample::Index>(),
+    ) {
+        let n = rows.len();
+        let flat: Vec<f32> = rows.iter().flatten().cloned().collect();
+        let db = VectorSet::from_rows(4, &flat);
+        let target = pick.index(n);
+        let q = VectorSet::from_rows(4, db.row(target));
+        let hits = exact::search(&q, &db, Metric::L2, 1);
+        // The winner must have similarity equal to the self-similarity (ties
+        // on duplicate rows may pick a lower id).
+        let best = hits[0][0];
+        prop_assert_eq!(best.score, 0.0);
+        prop_assert_eq!(db.row(best.id as usize), db.row(target));
+    }
+}

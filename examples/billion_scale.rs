@@ -1,0 +1,85 @@
+//! Billion-scale simulation: time ANNA on a SIFT1B-class workload
+//! (N = 10⁹, |C| = 10 000) without materializing a billion vectors —
+//! the accelerator's runtime depends only on cluster sizes and the search
+//! shape (Section IV-B), which is exactly what the timing engines consume.
+//!
+//! ```sh
+//! cargo run --release --example billion_scale
+//! ```
+
+use anna::core::engine::{analytic, cycle};
+use anna::core::{AnnaConfig, AreaPowerModel, BatchWorkload, ScmAllocation, SearchShape};
+use anna::data::ClusterSizeModel;
+use anna::vector::Metric;
+
+fn main() {
+    // SIFT1B at 4:1 compression with k* = 256: D=128, M=64.
+    let shape = SearchShape {
+        d: 128,
+        m: 64,
+        kstar: 256,
+        metric: Metric::L2,
+        num_clusters: 10_000,
+        k: 1000,
+    };
+    let clusters = ClusterSizeModel::skewed(1_000_000_000, 10_000, 0.35, 1);
+    println!(
+        "SIFT1B-class workload: N={}, |C|={}, mean cluster {:.0} vectors",
+        clusters.total(),
+        clusters.num_clusters(),
+        clusters.mean()
+    );
+
+    let cfg = AnnaConfig::paper();
+    let power = AreaPowerModel::paper();
+    println!(
+        "\n{:>4} {:>12} {:>12} {:>12} {:>10} {:>14}",
+        "W", "QPS", "latency(ms)", "traffic(GB)", "bound", "energy(mJ/qy)"
+    );
+    for w in [4usize, 8, 16, 32, 64, 128] {
+        let workload = BatchWorkload {
+            shape,
+            cluster_sizes: clusters.sizes().to_vec(),
+            visits: clusters.sample_query_visits(1000, w, w as u64),
+        };
+        let r = analytic::batch(&cfg, &workload, ScmAllocation::Auto);
+        println!(
+            "{:>4} {:>12.0} {:>12.3} {:>12.2} {:>10} {:>14.3}",
+            w,
+            r.qps(&cfg),
+            r.latency_seconds(&cfg) * 1e3,
+            r.traffic.total() as f64 / 1e9,
+            match r.bound() {
+                anna::core::Bound::Memory => "memory",
+                anna::core::Bound::Compute => "compute",
+            },
+            power.energy_per_query_joules(&cfg, &r) * 1e3,
+        );
+    }
+
+    // Cross-check one point against the event-driven cycle engine.
+    let w = 32;
+    let workload = BatchWorkload {
+        shape,
+        cluster_sizes: clusters.sizes().to_vec(),
+        visits: clusters.sample_query_visits(1000, w, w as u64),
+    };
+    let a = analytic::batch(&cfg, &workload, ScmAllocation::Auto);
+    let c = cycle::batch(&cfg, &workload, ScmAllocation::Auto);
+    println!(
+        "\nW=32 cross-check: analytic {:.3} ms/batch vs event-driven {:.3} ms/batch ({:+.1}%)",
+        a.seconds(&cfg) * 1e3,
+        c.seconds(&cfg) * 1e3,
+        (c.cycles / a.cycles - 1.0) * 100.0
+    );
+
+    // Scale-out: twelve 75 GB/s instances (the fair-bandwidth comparison
+    // against a 900 GB/s V100).
+    let x12 = anna::core::scale_out_qps(
+        &AnnaConfig::paper_x12_instance(),
+        &workload,
+        ScmAllocation::Auto,
+        12,
+    );
+    println!("ANNA x12 (75 GB/s each) at W=32: {x12:.0} QPS");
+}

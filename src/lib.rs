@@ -1,0 +1,51 @@
+//! # anna — a reproduction of "ANNA: Specialized Architecture for
+//! Approximate Nearest Neighbor Search" (HPCA 2022)
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`vector`] — dense vector substrate (matrices, metrics, f16, top-k,
+//!   exact search).
+//! * [`quant`] — training substrate (k-means, product quantization,
+//!   ScaNN-style anisotropic PQ, sub-byte code packing).
+//! * [`index`] — the two-level IVF-PQ index and software search (the CPU
+//!   baseline).
+//! * [`data`] — synthetic dataset generators, cluster-size models, ground
+//!   truth and recall.
+//! * [`core`] — the ANNA accelerator model: hardware modules, timing
+//!   engines, batch scheduler, area/energy model.
+//! * [`baseline`] — CPU/GPU analytical baselines and the exhaustive-search
+//!   baseline.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use anna::core::{Anna, AnnaConfig};
+//! use anna::index::{IvfPqConfig, IvfPqIndex};
+//! use anna::vector::{Metric, VectorSet};
+//!
+//! let db = VectorSet::from_fn(16, 2000, |r, c| ((r * 13 + c * 7) % 31) as f32);
+//! let index = IvfPqIndex::build(&db, &IvfPqConfig {
+//!     metric: Metric::L2,
+//!     num_clusters: 20,
+//!     m: 8,
+//!     kstar: 16,
+//!     ..IvfPqConfig::default()
+//! });
+//! let anna = Anna::new(AnnaConfig::paper(), &index).unwrap();
+//! let (hits, timing) = anna.search(db.row(5), 4, 10);
+//! assert_eq!(hits.len(), 10);
+//! assert!(timing.qps(anna.config()) > 0.0);
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios and `crates/bench` for the
+//! experiment harness that regenerates every table and figure of the
+//! paper.
+
+#![deny(missing_docs)]
+
+pub use anna_baseline as baseline;
+pub use anna_core as core;
+pub use anna_data as data;
+pub use anna_index as index;
+pub use anna_quant as quant;
+pub use anna_vector as vector;
