@@ -228,12 +228,27 @@ pub fn measure_qps(index: &IvfPqIndex, queries: &VectorSet, params: &SearchParam
 }
 
 /// Times the cluster-major batched scan on the host (the Faiss16-like
-/// schedule) and returns measured QPS.
+/// schedule) and returns measured QPS, using one worker per core.
 pub fn measure_batched_qps(index: &IvfPqIndex, queries: &VectorSet, params: &SearchParams) -> f64 {
+    measure_batched_qps_with(index, queries, params, 0)
+}
+
+/// Like [`measure_batched_qps`] but with an explicit worker count
+/// (`threads == 0` means one worker per available core; `1` is the serial
+/// reference schedule). Results are bit-identical across `threads` — only
+/// the wall clock changes — so the sweep in `anna-bench` measures pure
+/// scheduling overhead/speedup.
+pub fn measure_batched_qps_with(
+    index: &IvfPqIndex,
+    queries: &VectorSet,
+    params: &SearchParams,
+    threads: usize,
+) -> f64 {
     let scan = anna_index::BatchedScan::new(index);
-    let _warm = scan.run(queries, params);
+    let exec = anna_index::BatchExec::with_threads(threads);
+    let _warm = scan.run_with(queries, params, &exec);
     let start = std::time::Instant::now();
-    let _ = scan.run(queries, params);
+    let _ = scan.run_with(queries, params, &exec);
     let secs = start.elapsed().as_secs_f64().max(1e-9);
     queries.len() as f64 / secs
 }
@@ -372,5 +387,30 @@ mod tests {
         };
         assert!(measure_qps(&index, &queries, &params) > 0.0);
         assert!(measure_batched_qps(&index, &queries, &params) > 0.0);
+    }
+
+    #[test]
+    fn threads_knob_measures_every_worker_count() {
+        use anna_index::{IvfPqConfig, IvfPqIndex};
+        let data = VectorSet::from_fn(8, 400, |r, c| ((r * 13 + c * 5) % 23) as f32);
+        let index = IvfPqIndex::build(
+            &data,
+            &IvfPqConfig {
+                num_clusters: 8,
+                m: 4,
+                kstar: 16,
+                ..IvfPqConfig::default()
+            },
+        );
+        let queries = data.gather(&(0..16).collect::<Vec<_>>());
+        let params = SearchParams {
+            nprobe: 3,
+            k: 5,
+            ..Default::default()
+        };
+        for threads in [0usize, 1, 2, 4] {
+            let qps = measure_batched_qps_with(&index, &queries, &params, threads);
+            assert!(qps > 0.0, "threads={threads} gave qps={qps}");
+        }
     }
 }

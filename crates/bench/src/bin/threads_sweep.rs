@@ -1,0 +1,20 @@
+//! Measures batched QPS of the parallel cluster-major engine at worker
+//! counts 1/2/4/8 and writes a JSON report. Every point is checked to
+//! return bit-identical neighbors to the serial schedule.
+
+use anna_bench::{threads_sweep, write_report};
+
+fn main() {
+    // Sized so the scan dominates setup but the run stays under a minute.
+    let (db_n, batch) = (200_000, 512);
+    eprintln!("building index over {db_n} vectors, sweeping batch of {batch} queries");
+    let sweep = threads_sweep::run(db_n, batch, &[1, 2, 4, 8]);
+    print!("{}", sweep.render());
+    if let Some(s4) = sweep.speedup_at(4) {
+        eprintln!("speedup at 4 workers: {s4:.2}x");
+    }
+    match write_report("threads_sweep", &sweep.to_json()) {
+        Ok(path) => eprintln!("report written to {}", path.display()),
+        Err(e) => eprintln!("could not write report: {e}"),
+    }
+}

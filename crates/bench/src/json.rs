@@ -45,13 +45,6 @@ impl Json {
         self
     }
 
-    /// Serializes to a compact JSON string.
-    pub fn to_string(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out);
-        out
-    }
-
     fn write(&self, out: &mut String) {
         match self {
             Json::Null => out.push_str("null"),
@@ -107,6 +100,15 @@ impl Json {
                 out.push('}');
             }
         }
+    }
+}
+
+/// Serializes to a compact JSON string (`to_string()` comes via `Display`).
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
     }
 }
 

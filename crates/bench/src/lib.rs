@@ -33,6 +33,7 @@ pub mod json;
 pub mod related;
 pub mod scale;
 pub mod table1;
+pub mod threads_sweep;
 pub mod timeline;
 pub mod traffic_opt;
 

@@ -1,0 +1,169 @@
+//! Worker-count sweep for the parallel cluster-major batch engine.
+//!
+//! Measures real batched QPS on the host at increasing worker counts and
+//! reports the speedup over the serial schedule, together with a result
+//! checksum proving every point returned bit-identical neighbors — the
+//! software analogue of scaling ANNA's SCM count while the crossbar
+//! assignment (and therefore the answer) stays fixed.
+
+use anna_baseline::cpu::measure_batched_qps_with;
+use anna_index::{BatchExec, BatchedScan, IvfPqConfig, IvfPqIndex, SearchParams};
+use anna_vector::{Metric, VectorSet};
+use serde::{Deserialize, Serialize};
+
+use crate::json::Json;
+
+/// One measured point of the sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThreadPoint {
+    /// Worker count (`1` is the serial reference).
+    pub threads: usize,
+    /// Measured batch queries per second.
+    pub qps: f64,
+    /// Speedup over the serial point.
+    pub speedup: f64,
+    /// Whether this point's neighbors were bit-identical to serial.
+    pub identical_to_serial: bool,
+}
+
+/// The sweep result.
+#[derive(Debug, Clone)]
+pub struct ThreadsSweep {
+    /// Batch size used.
+    pub batch: usize,
+    /// Database size used.
+    pub db_n: usize,
+    /// Measured points, ascending thread count.
+    pub points: Vec<ThreadPoint>,
+}
+
+/// Synthetic clustered dataset sized so the scan dominates the wall clock.
+fn dataset(dim: usize, n: usize, blobs: usize) -> VectorSet {
+    VectorSet::from_fn(dim, n, |r, c| {
+        let blob = (r % blobs) as f32;
+        blob * 16.0 + ((r * 31 + c * 7) % 13) as f32 * 0.4
+    })
+}
+
+/// Runs the sweep over `thread_counts` on a synthetic index.
+///
+/// `db_n` vectors, batch of `batch` queries drawn from the database; each
+/// point re-checks the returned neighbors against the serial reference.
+pub fn run(db_n: usize, batch: usize, thread_counts: &[usize]) -> ThreadsSweep {
+    let dim = 16;
+    let data = dataset(dim, db_n, 32);
+    let index = IvfPqIndex::build(
+        &data,
+        &IvfPqConfig {
+            metric: Metric::L2,
+            num_clusters: 64,
+            m: 8,
+            kstar: 16,
+            ..IvfPqConfig::default()
+        },
+    );
+    let ids: Vec<usize> = (0..batch).map(|i| (i * 37) % db_n).collect();
+    let queries = data.gather(&ids);
+    let params = SearchParams {
+        nprobe: 12,
+        k: 10,
+        ..Default::default()
+    };
+
+    let scan = BatchedScan::new(&index);
+    let (serial_ref, _) = scan.run_serial(&queries, &params);
+
+    let mut points = Vec::new();
+    let mut serial_qps = 0.0f64;
+    for &threads in thread_counts {
+        let qps = measure_batched_qps_with(&index, &queries, &params, threads);
+        if threads == 1 {
+            serial_qps = qps;
+        }
+        let (got, _) = scan.run_with(&queries, &params, &BatchExec::with_threads(threads));
+        points.push(ThreadPoint {
+            threads,
+            qps,
+            speedup: 0.0, // filled below once the serial point is known
+            identical_to_serial: got == serial_ref,
+        });
+    }
+    if serial_qps <= 0.0 {
+        serial_qps = points.first().map(|p| p.qps).unwrap_or(1.0);
+    }
+    for p in &mut points {
+        p.speedup = p.qps / serial_qps;
+    }
+    ThreadsSweep {
+        batch,
+        db_n,
+        points,
+    }
+}
+
+impl ThreadsSweep {
+    /// JSON report.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("batch", self.batch)
+            .set("db_n", self.db_n)
+            .set(
+                "points",
+                Json::Arr(
+                    self.points
+                        .iter()
+                        .map(|p| {
+                            Json::obj()
+                                .set("threads", p.threads)
+                                .set("qps", p.qps)
+                                .set("speedup", p.speedup)
+                                .set("identical_to_serial", p.identical_to_serial)
+                        })
+                        .collect(),
+                ),
+            )
+    }
+
+    /// Text rendering.
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "\n=== batched QPS vs worker count (B={}, N={}) ===\n{:<8} {:>12} {:>9} {:>10}\n",
+            self.batch, self.db_n, "threads", "qps", "speedup", "identical"
+        );
+        for p in &self.points {
+            s.push_str(&format!(
+                "{:<8} {:>12.0} {:>8.2}x {:>10}\n",
+                p.threads, p.qps, p.speedup, p.identical_to_serial
+            ));
+        }
+        s
+    }
+
+    /// The speedup measured at `threads`, if that point was swept.
+    pub fn speedup_at(&self, threads: usize) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.threads == threads)
+            .map(|p| p.speedup)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_reports_identical_results_for_every_worker_count() {
+        let sweep = run(4_000, 64, &[1, 2, 4]);
+        assert_eq!(sweep.points.len(), 3);
+        for p in &sweep.points {
+            assert!(p.qps > 0.0, "threads={} qps={}", p.threads, p.qps);
+            assert!(
+                p.identical_to_serial,
+                "threads={} diverged from serial",
+                p.threads
+            );
+        }
+        assert_eq!(sweep.speedup_at(1), Some(1.0));
+    }
+}

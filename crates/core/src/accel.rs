@@ -109,7 +109,7 @@ impl<'a> Anna<'a> {
             return;
         }
         let g = scms.len();
-        if self.cfg.n_scm % g == 0 {
+        if self.cfg.n_scm.is_multiple_of(g) {
             // Validate the physical routing for this partition count.
             let xb = Crossbar::paper(self.cfg.n_scm);
             let routing = if g == 1 {

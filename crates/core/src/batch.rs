@@ -53,7 +53,7 @@ impl ScmAllocation {
                     "scm_per_query {scm_per_query} out of range"
                 );
                 assert!(
-                    cfg.n_scm % scm_per_query == 0,
+                    cfg.n_scm.is_multiple_of(scm_per_query),
                     "scm_per_query {scm_per_query} must divide N_SCM {}",
                     cfg.n_scm
                 );
@@ -66,7 +66,7 @@ impl ScmAllocation {
                 let mut g = (cfg.n_scm as f64 / expected).round().max(1.0) as usize;
                 g = g.min(cfg.n_scm);
                 // Snap to the largest divisor of N_SCM not exceeding g.
-                while cfg.n_scm % g != 0 {
+                while !cfg.n_scm.is_multiple_of(g) {
                     g -= 1;
                 }
                 g
@@ -116,9 +116,14 @@ impl Schedule {
 
 /// Plans the cluster-major schedule for a batch workload.
 ///
-/// Clusters with no visitors are skipped entirely; clusters with more
-/// visitors than fit a round get multiple consecutive rounds (codes stay
-/// buffered, so only the first round fetches).
+/// The work assignment is delegated to
+/// [`anna_index::parallel::crossbar_tiles`] with a query-group bound of
+/// `N_SCM / g` — the *same* tiling the software batch engine's worker
+/// pool executes, so the timed schedule and the functional reference
+/// agree on work placement by construction. Clusters with no visitors
+/// are skipped entirely; clusters with more visitors than fit a round
+/// get multiple consecutive rounds (codes stay buffered, so only the
+/// first round fetches).
 ///
 /// # Panics
 ///
@@ -129,21 +134,15 @@ pub fn plan(cfg: &AnnaConfig, workload: &BatchWorkload, alloc: ScmAllocation) ->
     let queries_per_round = (cfg.n_scm / g).max(1);
     let visitors = workload.visitors_per_cluster();
 
-    let mut rounds = Vec::new();
-    for (cluster, qs) in visitors.iter().enumerate() {
-        if qs.is_empty() {
-            continue;
-        }
-        let size = workload.cluster_sizes[cluster];
-        for (chunk_idx, chunk) in qs.chunks(queries_per_round).enumerate() {
-            rounds.push(Round {
-                cluster,
-                cluster_size: size,
-                queries: chunk.to_vec(),
-                fetches_codes: chunk_idx == 0,
-            });
-        }
-    }
+    let rounds = anna_index::parallel::crossbar_tiles(&visitors, queries_per_round)
+        .into_iter()
+        .map(|tile| Round {
+            cluster_size: workload.cluster_sizes[tile.cluster],
+            cluster: tile.cluster,
+            queries: tile.queries,
+            fetches_codes: tile.fetches_codes,
+        })
+        .collect();
     Schedule {
         scm_per_query: g,
         queries_per_round,

@@ -370,6 +370,7 @@ impl Device {
                     }
                     Metric::L2 => cpm.build_l2_lut(q, centroids.row(round.cluster), &self.codebook),
                 };
+                #[allow(clippy::needless_range_loop)]
                 for part in 0..g {
                     let lo = (part * chunk).min(len);
                     let hi = ((part + 1) * chunk).min(len);
@@ -401,6 +402,7 @@ impl Device {
         (0..b)
             .map(|qi| {
                 let mut merged = PHeap::new(k);
+                #[allow(clippy::needless_range_loop)]
                 for part in 0..g {
                     let base = self.spill_slot(qi, part);
                     for i in 0..spilled_len[qi][part] {

@@ -196,6 +196,8 @@ pub fn single_query(cfg: &AnnaConfig, w: &QueryWorkload, g: usize) -> SteppedRep
     let merge_cycles = if g > 1 { ((g - 1) * s.k) as u64 } else { 0 };
     let mut merge_remaining = merge_cycles;
 
+    // `n` is fixed; the loop exits via the result-store `break` below.
+    #[allow(clippy::while_immutable_condition)]
     while n > 0 {
         // Issue fetches when the double buffer allows: fetch i needs scan
         // of cluster i−2 to be complete.

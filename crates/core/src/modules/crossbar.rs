@@ -78,7 +78,7 @@ impl Crossbar {
                         self.ports
                     )));
                 }
-                if self.n_scm % stripes != 0 {
+                if !self.n_scm.is_multiple_of(stripes) {
                     return Err(RouteError(format!(
                         "{stripes} stripes do not divide {} SCMs",
                         self.n_scm

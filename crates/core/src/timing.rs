@@ -80,7 +80,7 @@ impl SearchShape {
             self.kstar
         );
         assert!(
-            self.d % self.m == 0,
+            self.d.is_multiple_of(self.m),
             "M={} must divide D={}",
             self.m,
             self.d

@@ -1,4 +1,5 @@
-//! Property-based tests for the accelerator model.
+//! Property-based tests for the accelerator model (seeded `anna-testkit`
+//! harness; failures report a replayable seed).
 
 use anna_core::engine::{analytic, cycle, stepped};
 use anna_core::host::MemoryLayout;
@@ -6,36 +7,30 @@ use anna_core::{
     batch, AnnaConfig, BatchWorkload, PHeap, QueryWorkload, ScmAllocation, SearchShape,
 };
 use anna_index::{IvfPqConfig, IvfPqIndex};
+use anna_testkit::{forall, TestRng};
 use anna_vector::{f16, Metric, TopK, VectorSet};
-use proptest::prelude::*;
 
-fn arb_shape() -> impl Strategy<Value = SearchShape> {
-    (
-        prop::sample::select(vec![(16usize, 4usize), (16, 8), (256, 4), (256, 8)]),
-        prop::sample::select(vec![Metric::L2, Metric::InnerProduct]),
-        8usize..64,
-        10usize..1000,
-    )
-        .prop_map(|((kstar, m), metric, num_clusters, k)| SearchShape {
-            d: m * 2,
-            m,
-            kstar,
-            metric,
-            num_clusters,
-            k,
-        })
+fn arb_shape(rng: &mut TestRng) -> SearchShape {
+    let (kstar, m) = *rng.pick(&[(16usize, 4usize), (16, 8), (256, 4), (256, 8)]);
+    let metric = *rng.pick(&[Metric::L2, Metric::InnerProduct]);
+    SearchShape {
+        d: m * 2,
+        m,
+        kstar,
+        metric,
+        num_clusters: rng.usize(8..64),
+        k: rng.usize(10..1000),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The P-heap (with f16 score rounding) always agrees with a software
-    /// top-k selector fed the same f16-rounded scores.
-    #[test]
-    fn pheap_matches_software_topk(
-        scores in prop::collection::vec(-1.0e3f32..1.0e3, 1..300),
-        k in 1usize..20,
-    ) {
+/// The P-heap (with f16 score rounding) always agrees with a software
+/// top-k selector fed the same f16-rounded scores.
+#[test]
+fn pheap_matches_software_topk() {
+    forall("pheap matches software topk", 48, |rng| {
+        let n = rng.usize(1..300);
+        let scores = rng.vec_f32(n, -1.0e3..1.0e3);
+        let k = rng.usize(1..20);
         let mut heap = PHeap::new(k);
         let mut topk = TopK::new(k);
         for (id, &s) in scores.iter().enumerate() {
@@ -44,16 +39,19 @@ proptest! {
         }
         let h: Vec<u64> = heap.drain_sorted().iter().map(|n| n.id).collect();
         let t: Vec<u64> = topk.into_sorted_vec().iter().map(|n| n.id).collect();
-        prop_assert_eq!(h, t);
-    }
+        assert_eq!(h, t);
+    });
+}
 
-    /// Spilling and filling a P-heap never changes subsequent behavior.
-    #[test]
-    fn pheap_spill_fill_is_transparent(
-        first in prop::collection::vec(-100.0f32..100.0, 1..100),
-        second in prop::collection::vec(-100.0f32..100.0, 1..100),
-        k in 1usize..10,
-    ) {
+/// Spilling and filling a P-heap never changes subsequent behavior.
+#[test]
+fn pheap_spill_fill_is_transparent() {
+    forall("pheap spill fill is transparent", 48, |rng| {
+        let n1 = rng.usize(1..100);
+        let first = rng.vec_f32(n1, -100.0..100.0);
+        let n2 = rng.usize(1..100);
+        let second = rng.vec_f32(n2, -100.0..100.0);
+        let k = rng.usize(1..10);
         let mut direct = PHeap::new(k);
         let mut spilled = PHeap::new(k);
         for (id, &s) in first.iter().enumerate() {
@@ -68,22 +66,23 @@ proptest! {
             direct.offer(id, s);
             resumed.offer(id, s);
         }
-        prop_assert_eq!(direct.drain_sorted(), resumed.drain_sorted());
-    }
+        assert_eq!(direct.drain_sorted(), resumed.drain_sorted());
+    });
+}
 
-    /// Analytic single-query timing is monotone in cluster sizes and never
-    /// beats the bandwidth bound.
-    #[test]
-    fn analytic_single_query_sane(
-        shape in arb_shape(),
-        sizes in prop::collection::vec(1usize..50_000, 1..32),
-        g in prop::sample::select(vec![1usize, 2, 4, 8, 16]),
-    ) {
+/// Analytic single-query timing is monotone in cluster sizes and never
+/// beats the bandwidth bound.
+#[test]
+fn analytic_single_query_sane() {
+    forall("analytic single query sane", 48, |rng| {
+        let shape = arb_shape(rng);
+        let sizes: Vec<usize> = (0..rng.usize(1..32)).map(|_| rng.usize(1..50_000)).collect();
+        let g = *rng.pick(&[1usize, 2, 4, 8, 16]);
         let cfg = AnnaConfig::paper();
         let w = QueryWorkload { shape, visited_cluster_sizes: sizes.clone() };
         let r = analytic::single_query(&cfg, &w, g);
-        prop_assert!(r.cycles > 0.0);
-        prop_assert!(r.cycles + 1e-6 >= r.traffic.total() as f64 / cfg.bytes_per_cycle());
+        assert!(r.cycles > 0.0);
+        assert!(r.cycles + 1e-6 >= r.traffic.total() as f64 / cfg.bytes_per_cycle());
 
         // Doubling every cluster can only slow the query down.
         let big = QueryWorkload {
@@ -91,65 +90,66 @@ proptest! {
             visited_cluster_sizes: sizes.iter().map(|&s| s * 2).collect(),
         };
         let rb = analytic::single_query(&cfg, &big, g);
-        prop_assert!(rb.cycles >= r.cycles);
-    }
+        assert!(rb.cycles >= r.cycles);
+    });
+}
 
-    /// The batch schedule covers every (query, cluster) visit exactly once
-    /// regardless of allocation.
-    #[test]
-    fn schedule_is_a_partition(
-        shape in arb_shape(),
-        b in 1usize..40,
-        w in 1usize..6,
-        g in prop::sample::select(vec![1usize, 2, 4, 8, 16]),
-    ) {
+/// The batch schedule covers every (query, cluster) visit exactly once
+/// regardless of allocation.
+#[test]
+fn schedule_is_a_partition() {
+    forall("schedule is a partition", 48, |rng| {
+        let shape = arb_shape(rng);
+        let b = rng.usize(1..40);
+        let w = rng.usize(1..6);
+        let g = *rng.pick(&[1usize, 2, 4, 8, 16]);
         let cfg = AnnaConfig::paper();
         let c = shape.num_clusters;
         let workload = BatchWorkload {
             shape,
             cluster_sizes: (0..c).map(|i| 10 + i * 3).collect(),
-            visits: (0..b).map(|q| (0..w.min(c)).map(|i| (q * 7 + i * 3) % c).collect::<Vec<_>>())
-                .map(|mut v: Vec<usize>| { v.sort_unstable(); v.dedup(); v })
+            visits: (0..b)
+                .map(|q| (0..w.min(c)).map(|i| (q * 7 + i * 3) % c).collect::<Vec<_>>())
+                .map(|mut v: Vec<usize>| {
+                    v.sort_unstable();
+                    v.dedup();
+                    v
+                })
                 .collect(),
         };
         let schedule = batch::plan(&cfg, &workload, ScmAllocation::IntraQuery { scm_per_query: g });
         let mut count = vec![0usize; b];
         for round in &schedule.rounds {
-            prop_assert!(round.queries.len() <= schedule.queries_per_round);
+            assert!(round.queries.len() <= schedule.queries_per_round);
             for &q in &round.queries {
-                prop_assert!(workload.visits[q].contains(&round.cluster));
+                assert!(workload.visits[q].contains(&round.cluster));
                 count[q] += 1;
             }
         }
         for (q, visits) in workload.visits.iter().enumerate() {
-            prop_assert_eq!(count[q], visits.len(), "query {} visit count", q);
+            assert_eq!(count[q], visits.len(), "query {q} visit count");
         }
         // Each non-empty visited cluster fetches exactly once.
         let visited: std::collections::HashSet<usize> =
             workload.visits.iter().flatten().cloned().collect();
-        prop_assert_eq!(schedule.clusters_fetched() as usize, visited.len());
-    }
+        assert_eq!(schedule.clusters_fetched() as usize, visited.len());
+    });
+}
 
-    /// Analytic and event-driven batch engines agree within tolerance and
-    /// report identical code traffic, on arbitrary workloads.
-    #[test]
-    fn engines_agree_on_random_batches(
-        shape in arb_shape(),
-        b in 4usize..32,
-        seedling in 0u64..1000,
-    ) {
+/// Analytic and event-driven batch engines agree within tolerance and
+/// report identical code traffic, on arbitrary workloads.
+#[test]
+fn engines_agree_on_random_batches() {
+    forall("engines agree on random batches", 48, |rng| {
+        let shape = arb_shape(rng);
+        let b = rng.usize(4..32);
         let cfg = AnnaConfig::paper();
         let c = shape.num_clusters;
-        let mut state = seedling.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
-        let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            (state >> 33) as usize
-        };
-        let cluster_sizes: Vec<usize> = (0..c).map(|_| 100 + next() % 20_000).collect();
+        let cluster_sizes: Vec<usize> = (0..c).map(|_| rng.usize(100..20_100)).collect();
         let visits: Vec<Vec<usize>> = (0..b)
             .map(|_| {
-                let w = 1 + next() % 4;
-                let mut v: Vec<usize> = (0..w).map(|_| next() % c).collect();
+                let w = rng.usize(1..5);
+                let mut v: Vec<usize> = (0..w).map(|_| rng.usize(0..c)).collect();
                 v.sort_unstable();
                 v.dedup();
                 v
@@ -158,85 +158,90 @@ proptest! {
         let workload = BatchWorkload { shape, cluster_sizes, visits };
         let a = analytic::batch(&cfg, &workload, ScmAllocation::Auto);
         let cy = cycle::batch(&cfg, &workload, ScmAllocation::Auto);
-        prop_assert_eq!(a.traffic.code_bytes, cy.traffic.code_bytes);
-        prop_assert_eq!(a.traffic.topk_spill_bytes, cy.traffic.topk_spill_bytes);
+        assert_eq!(a.traffic.code_bytes, cy.traffic.code_bytes);
+        assert_eq!(a.traffic.topk_spill_bytes, cy.traffic.topk_spill_bytes);
         let ratio = cy.cycles / a.cycles;
-        prop_assert!((0.6..1.6).contains(&ratio), "engines diverge: ratio {}", ratio);
-    }
+        assert!((0.6..1.6).contains(&ratio), "engines diverge: ratio {ratio}");
+    });
+}
 
-    /// The cycle-stepped engine tracks the analytic engine on arbitrary
-    /// single-query workloads (the analytic prologue serializes the first
-    /// cluster's fetch, so at small W the streaming engines run up to
-    /// ~1.5x faster; from W >= 3 the band tightens), and serialized stages
-    /// never beat the double-buffered pipeline.
-    #[test]
-    fn stepped_engine_tracks_analytic(
-        shape in arb_shape(),
-        sizes in prop::collection::vec(500usize..30_000, 3..10),
-        g in prop::sample::select(vec![1usize, 4, 16]),
-    ) {
+/// The cycle-stepped engine tracks the analytic engine on arbitrary
+/// single-query workloads (the analytic prologue serializes the first
+/// cluster's fetch, so at small W the streaming engines run up to
+/// ~1.5x faster; from W >= 3 the band tightens), and serialized stages
+/// never beat the double-buffered pipeline.
+#[test]
+fn stepped_engine_tracks_analytic() {
+    forall("stepped engine tracks analytic", 48, |rng| {
+        let shape = arb_shape(rng);
+        let sizes: Vec<usize> = (0..rng.usize(3..10)).map(|_| rng.usize(500..30_000)).collect();
+        let g = *rng.pick(&[1usize, 4, 16]);
         let cfg = AnnaConfig::paper();
         let w = QueryWorkload { shape, visited_cluster_sizes: sizes };
         let a = analytic::single_query(&cfg, &w, g);
         let st = stepped::single_query(&cfg, &w, g);
         let ratio = st.cycles as f64 / a.cycles;
-        prop_assert!((0.6..1.4).contains(&ratio), "ratio {}", ratio);
+        assert!((0.6..1.4).contains(&ratio), "ratio {ratio}");
 
         let serial = analytic::single_query_unbuffered(&cfg, &w, g);
-        prop_assert!(serial.cycles + 1e-6 >= a.cycles, "unbuffered beat buffered");
-        prop_assert_eq!(serial.traffic.total(), a.traffic.total());
-    }
+        assert!(serial.cycles + 1e-6 >= a.cycles, "unbuffered beat buffered");
+        assert_eq!(serial.traffic.total(), a.traffic.total());
+    });
+}
 
-    /// Device memory layouts are always line-aligned and pairwise
-    /// disjoint, for random index shapes and batch plans.
-    #[test]
-    fn memory_layouts_never_overlap(
-        n in 50usize..300,
-        clusters in 2usize..12,
-        batch in 1usize..64,
-        w in 1usize..8,
-    ) {
+/// Device memory layouts are always line-aligned and pairwise
+/// disjoint, for random index shapes and batch plans.
+#[test]
+fn memory_layouts_never_overlap() {
+    forall("memory layouts never overlap", 24, |rng| {
+        let n = rng.usize(50..300);
+        let clusters = rng.usize(2..12);
+        let batch = rng.usize(1..64);
+        let w = rng.usize(1..8);
         let data = VectorSet::from_fn(8, n, |r, c| ((r * 31 + c * 7) % 23) as f32);
-        let index = IvfPqIndex::build(&data, &IvfPqConfig {
-            num_clusters: clusters,
-            m: 4,
-            kstar: 16,
-            coarse_iters: 2,
-            pq_iters: 1,
-            ..IvfPqConfig::default()
-        });
+        let index = IvfPqIndex::build(
+            &data,
+            &IvfPqConfig {
+                num_clusters: clusters,
+                m: 4,
+                kstar: 16,
+                coarse_iters: 2,
+                pq_iters: 1,
+                ..IvfPqConfig::default()
+            },
+        );
         let layout = MemoryLayout::plan(&AnnaConfig::paper(), &index, batch, w);
         let regions = layout.regions();
         for r in &regions {
-            prop_assert_eq!(r.base % 64, 0);
+            assert_eq!(r.base % 64, 0);
         }
         for i in 0..regions.len() {
             for j in i + 1..regions.len() {
-                prop_assert!(!regions[i].overlaps(&regions[j]),
-                    "regions {} and {} overlap", i, j);
+                assert!(!regions[i].overlaps(&regions[j]), "regions {i} and {j} overlap");
             }
         }
         // Every cluster's codes sit inside the code region.
         for (i, m) in layout.meta.iter().enumerate() {
             let end = m.code_base + index.cluster(i).encoded_bytes();
-            prop_assert!(m.code_base >= layout.codes.base && end <= layout.codes.end());
+            assert!(m.code_base >= layout.codes.base && end <= layout.codes.end());
         }
-    }
+    });
+}
 
-    /// More memory bandwidth never slows either engine down.
-    #[test]
-    fn bandwidth_monotonicity(
-        shape in arb_shape(),
-        sizes in prop::collection::vec(100usize..20_000, 1..16),
-    ) {
+/// More memory bandwidth never slows either engine down.
+#[test]
+fn bandwidth_monotonicity() {
+    forall("bandwidth monotonicity", 48, |rng| {
+        let shape = arb_shape(rng);
+        let sizes: Vec<usize> = (0..rng.usize(1..16)).map(|_| rng.usize(100..20_000)).collect();
         let slow = AnnaConfig { mem_bandwidth_gbps: 16.0, ..AnnaConfig::paper() };
         let fast = AnnaConfig { mem_bandwidth_gbps: 256.0, ..AnnaConfig::paper() };
         let w = QueryWorkload { shape, visited_cluster_sizes: sizes };
         let rs = analytic::single_query(&slow, &w, 16);
         let rf = analytic::single_query(&fast, &w, 16);
-        prop_assert!(rf.cycles <= rs.cycles + 1e-6);
+        assert!(rf.cycles <= rs.cycles + 1e-6);
         let cs = cycle::single_query(&slow, &w, 16);
         let cf = cycle::single_query(&fast, &w, 16);
-        prop_assert!(cf.cycles <= cs.cycles + 1e-6);
-    }
+        assert!(cf.cycles <= cs.cycles + 1e-6);
+    });
 }

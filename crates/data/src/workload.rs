@@ -124,7 +124,7 @@ impl PaperDataset {
             (16, 16) => d / 4,
             _ => panic!("unsupported compression {compression}:1 with k*={kstar}"),
         };
-        assert!(m > 0 && d % m == 0, "M={m} does not divide D={d}");
+        assert!(m > 0 && d.is_multiple_of(m), "M={m} does not divide D={d}");
         m
     }
 

@@ -13,12 +13,11 @@
 //! our CPU measurements and reuse its bookkeeping in the accelerator model.
 
 use crate::ivf::IvfPqIndex;
-use crate::kernels;
 use crate::lut::Lut;
+use crate::parallel::{self, BatchExec};
 use crate::SearchParams;
-use anna_vector::{metric, Metric, Neighbor, TopK, VectorSet};
+use anna_vector::{Metric, Neighbor, TopK, VectorSet};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Memory-traffic bookkeeping for one batch, in the units of Figure 5.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -41,6 +40,16 @@ impl BatchStats {
     /// |W|=128 gives 12.8×).
     pub fn traffic_reduction(&self) -> f64 {
         self.conventional_code_bytes as f64 / self.code_bytes_loaded.max(1) as f64
+    }
+
+    /// Adds another partial count into this one. All fields are plain
+    /// sums, so accumulation is commutative and associative — per-worker
+    /// partials merge to the same totals in any order.
+    pub fn accumulate(&mut self, other: &BatchStats) {
+        self.clusters_loaded += other.clusters_loaded;
+        self.code_bytes_loaded += other.code_bytes_loaded;
+        self.query_cluster_visits += other.query_cluster_visits;
+        self.conventional_code_bytes += other.conventional_code_bytes;
     }
 }
 
@@ -90,8 +99,10 @@ impl<'a> BatchedScan<'a> {
     /// Runs the batch and returns per-query results (query order, best
     /// first) plus traffic statistics.
     ///
-    /// Results are bit-identical to running [`IvfPqIndex::search`] per
-    /// query — only the schedule differs.
+    /// Uses the default execution config: one worker per available core,
+    /// one tile per visited cluster. Results are bit-identical to running
+    /// [`IvfPqIndex::search`] per query, and to [`BatchedScan::run_serial`]
+    /// — only the schedule differs (see [`crate::parallel`] for why).
     ///
     /// # Panics
     ///
@@ -101,9 +112,41 @@ impl<'a> BatchedScan<'a> {
         queries: &VectorSet,
         params: &SearchParams,
     ) -> (Vec<Vec<Neighbor>>, BatchStats) {
+        self.run_with(queries, params, &BatchExec::default())
+    }
+
+    /// Runs the batch single-threaded — the reference schedule that the
+    /// parallel path must reproduce bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries.dim() != index.dim()`.
+    pub fn run_serial(
+        &self,
+        queries: &VectorSet,
+        params: &SearchParams,
+    ) -> (Vec<Vec<Neighbor>>, BatchStats) {
+        self.run_with(queries, params, &BatchExec::serial())
+    }
+
+    /// Runs the batch under an explicit execution config.
+    ///
+    /// The batch is cut into crossbar tiles
+    /// ([`crate::parallel::crossbar_tiles`]) and executed by
+    /// `exec.resolved_threads()` scoped workers; neighbors and aggregated
+    /// [`BatchStats`] are independent of the thread count and tile bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries.dim() != index.dim()`.
+    pub fn run_with(
+        &self,
+        queries: &VectorSet,
+        params: &SearchParams,
+        exec: &BatchExec,
+    ) -> (Vec<Vec<Neighbor>>, BatchStats) {
         assert_eq!(queries.dim(), self.index.dim(), "query dimension mismatch");
         let visiting = self.plan(queries, params.nprobe);
-        let nq = queries.len();
 
         // Shared inner-product base tables (cluster-invariant) per query.
         let ip_base: Option<Vec<Lut>> = match self.index.metric() {
@@ -116,62 +159,15 @@ impl<'a> BatchedScan<'a> {
             Metric::L2 => None,
         };
 
-        let mut stats = BatchStats::default();
-        for (cid, qs) in visiting.iter().enumerate() {
-            if qs.is_empty() {
-                continue;
-            }
-            let bytes = self.index.cluster(cid).encoded_bytes();
-            stats.clusters_loaded += 1;
-            stats.code_bytes_loaded += bytes;
-            stats.query_cluster_visits += qs.len() as u64;
-            stats.conventional_code_bytes += bytes * qs.len() as u64;
-        }
-
-        // Walk clusters in parallel; each worker keeps partial top-k state
-        // per query and the partials are merged afterwards (mirrors ANNA's
-        // intermediate top-k spill/fill, Section IV-A).
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        let work: Vec<usize> = (0..visiting.len())
-            .filter(|&c| !visiting[c].is_empty())
-            .collect();
-        let chunk = work.len().div_ceil(threads).max(1);
-        let partials = parking_lot::Mutex::new(Vec::<HashMap<usize, TopK>>::new());
-
-        crossbeam::thread::scope(|s| {
-            for piece in work.chunks(chunk) {
-                let partials = &partials;
-                let ip_base = &ip_base;
-                let visiting = &visiting;
-                s.spawn(move |_| {
-                    let mut local: HashMap<usize, TopK> = HashMap::new();
-                    for &cid in piece {
-                        let cluster = self.index.cluster(cid);
-                        for &qi in &visiting[cid] {
-                            let q = queries.row(qi);
-                            let lut = match ip_base {
-                                Some(base) => base[qi]
-                                    .with_bias(metric::dot(q, self.index.centroids().row(cid))),
-                                None => self.index.build_lut(q, cid, params),
-                            };
-                            let top = local.entry(qi).or_insert_with(|| TopK::new(params.k));
-                            kernels::scan(&cluster.codes, &cluster.ids, &lut, top);
-                        }
-                    }
-                    partials.lock().push(local);
-                });
-            }
-        })
-        .expect("batched scan worker panicked");
-
-        let mut merged: Vec<TopK> = (0..nq).map(|_| TopK::new(params.k)).collect();
-        for local in partials.into_inner() {
-            for (qi, top) in local {
-                merged[qi].merge(&top);
-            }
-        }
+        let tiles = parallel::crossbar_tiles(&visiting, exec.queries_per_group);
+        let (merged, stats) = parallel::execute_tiles(
+            self.index,
+            queries,
+            params,
+            ip_base.as_deref(),
+            &tiles,
+            exec.resolved_threads(),
+        );
         (
             merged.into_iter().map(TopK::into_sorted_vec).collect(),
             stats,
@@ -287,6 +283,103 @@ mod tests {
             }
         }
         assert_eq!(counts, [3, 3, 3]);
+    }
+
+    #[test]
+    fn traffic_reduction_reproduces_paper_example() {
+        // Section IV's example: B = 1000 queries, |C| = 10000 clusters,
+        // |W| = 128 probes. The conventional schedule loads B·|W| clusters;
+        // the optimized one loads each of the |C| clusters once, so with
+        // uniform cluster bytes z: reduction = 1000·128·z / 10000·z = 12.8.
+        let z = 64u64; // bytes per cluster (arbitrary, cancels out)
+        let stats = BatchStats {
+            clusters_loaded: 10_000,
+            code_bytes_loaded: 10_000 * z,
+            query_cluster_visits: 1000 * 128,
+            conventional_code_bytes: 1000 * 128 * z,
+        };
+        assert!((stats.traffic_reduction() - 12.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn traffic_reduction_never_divides_by_zero() {
+        // An all-empty batch (or an index of empty clusters) loads zero
+        // bytes; the max(1) guard must yield a finite ratio, not NaN/inf.
+        let zero = BatchStats::default();
+        assert_eq!(zero.traffic_reduction(), 0.0);
+        let empty_clusters = BatchStats {
+            clusters_loaded: 3,
+            code_bytes_loaded: 0,
+            query_cluster_visits: 7,
+            conventional_code_bytes: 0,
+        };
+        let r = empty_clusters.traffic_reduction();
+        assert!(r.is_finite());
+        assert_eq!(r, 0.0);
+    }
+
+    #[test]
+    fn stats_accumulate_is_a_field_wise_sum() {
+        let mut a = BatchStats {
+            clusters_loaded: 1,
+            code_bytes_loaded: 10,
+            query_cluster_visits: 3,
+            conventional_code_bytes: 30,
+        };
+        let b = BatchStats {
+            clusters_loaded: 2,
+            code_bytes_loaded: 20,
+            query_cluster_visits: 4,
+            conventional_code_bytes: 80,
+        };
+        a.accumulate(&b);
+        assert_eq!(
+            a,
+            BatchStats {
+                clusters_loaded: 3,
+                code_bytes_loaded: 30,
+                query_cluster_visits: 7,
+                conventional_code_bytes: 110,
+            }
+        );
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_on_results_and_stats() {
+        let (data, index) = build(Metric::L2);
+        let queries = data.gather(&(0..48).collect::<Vec<_>>());
+        let params = SearchParams {
+            nprobe: 5,
+            k: 4,
+            lut_precision: LutPrecision::F32,
+        };
+        let scan = BatchedScan::new(&index);
+        let (serial, serial_stats) = scan.run_serial(&queries, &params);
+        for threads in [2usize, 4, 8] {
+            let (par, par_stats) =
+                scan.run_with(&queries, &params, &BatchExec::with_threads(threads));
+            assert_eq!(par, serial, "{threads} threads diverged");
+            assert_eq!(par_stats, serial_stats, "{threads} threads stats diverged");
+        }
+    }
+
+    #[test]
+    fn query_group_bound_does_not_change_results_or_stats() {
+        let (data, index) = build(Metric::InnerProduct);
+        let queries = data.gather(&(0..32).collect::<Vec<_>>());
+        let params = SearchParams {
+            nprobe: 4,
+            k: 3,
+            lut_precision: LutPrecision::F32,
+        };
+        let scan = BatchedScan::new(&index);
+        let (reference, ref_stats) = scan.run_serial(&queries, &params);
+        for group in [1usize, 2, 5] {
+            let exec = BatchExec { threads: 4, queries_per_group: group };
+            let (got, stats) = scan.run_with(&queries, &params, &exec);
+            assert_eq!(got, reference, "group bound {group} diverged");
+            assert_eq!(stats, ref_stats, "group bound {group} stats diverged");
+        }
     }
 
     #[test]

@@ -141,7 +141,7 @@ pub fn read_index<R: Read>(mut r: R) -> io::Result<IvfPqIndex> {
     let c = read_u32(&mut r)? as usize;
     let m = read_u32(&mut r)? as usize;
     let kstar = read_u32(&mut r)? as usize;
-    if dim == 0 || c == 0 || m == 0 || dim % m != 0 || dim > 1 << 16 || c > 1 << 28 {
+    if dim == 0 || c == 0 || m == 0 || !dim.is_multiple_of(m) || dim > 1 << 16 || c > 1 << 28 {
         return Err(bad(format!("inconsistent header: dim={dim} |C|={c} m={m}")));
     }
     let width = match kstar {

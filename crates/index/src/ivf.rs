@@ -465,16 +465,15 @@ impl IvfPqIndex {
             .map(|n| n.get())
             .unwrap_or(1);
         let chunk = nq.div_ceil(threads).max(1);
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for (ci, out) in results.chunks_mut(chunk).enumerate() {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for (off, slot) in out.iter_mut().enumerate() {
                         *slot = self.search(queries.row(ci * chunk + off), params);
                     }
                 });
             }
-        })
-        .expect("search worker panicked");
+        });
         results
     }
 }

@@ -186,6 +186,141 @@ mod tests {
         }
     }
 
+    /// Scalar reference scorer: plain nested loop over `lut.get`, no
+    /// packing tricks — the oracle both kernels must reproduce exactly
+    /// (same summation order, so scores must match bit for bit).
+    fn scalar_reference(codes: &PackedCodes, lut: &Lut) -> Vec<f32> {
+        let mut buf = vec![0u8; codes.m()];
+        (0..codes.len())
+            .map(|v| {
+                codes.read_into(v, &mut buf);
+                let mut sum = 0.0f32;
+                for (i, &c) in buf.iter().enumerate() {
+                    sum += lut.get(i, c as usize);
+                }
+                sum + lut.bias()
+            })
+            .collect()
+    }
+
+    /// Random codes need not come from any encoder; the kernels must score
+    /// arbitrary identifiers below `bound` (the LUT's `k*`, which can be
+    /// smaller than the configured one when training data is scarce).
+    fn random_codes(
+        rng: &mut anna_testkit::TestRng,
+        m: usize,
+        width: CodeWidth,
+        bound: u8,
+        n: usize,
+    ) -> PackedCodes {
+        let mut packed = PackedCodes::new(m, width);
+        for _ in 0..n {
+            let row = rng.vec_u8(m, bound);
+            packed.push(&row);
+        }
+        packed
+    }
+
+    #[test]
+    fn u4_kernel_matches_scalar_reference_on_random_codes() {
+        let (_, _, _, lut) = setup(16, 4);
+        anna_testkit::forall("u4 kernel matches scalar reference", 32, |rng| {
+            let n = rng.usize(1..120);
+            let codes = random_codes(rng, 4, CodeWidth::U4, 16, n);
+            let ids: Vec<u64> = (0..n as u64).collect();
+            let mut top = TopK::new(n);
+            scan_u4(&codes, &ids, &lut, &mut top);
+            let want = scalar_reference(&codes, &lut);
+            let hits = top.into_sorted_vec();
+            assert_eq!(hits.len(), n);
+            for h in hits {
+                assert_eq!(h.score.to_bits(), want[h.id as usize].to_bits());
+            }
+        });
+    }
+
+    #[test]
+    fn u8_kernel_matches_scalar_reference_on_random_codes() {
+        let (_, _, _, lut) = setup(256, 4);
+        anna_testkit::forall("u8 kernel matches scalar reference", 32, |rng| {
+            let n = rng.usize(1..120);
+            let codes = random_codes(rng, 4, CodeWidth::U8, lut.kstar() as u8, n);
+            let ids: Vec<u64> = (0..n as u64).collect();
+            let mut top = TopK::new(n);
+            scan_u8(&codes, &ids, &lut, &mut top);
+            let want = scalar_reference(&codes, &lut);
+            let hits = top.into_sorted_vec();
+            assert_eq!(hits.len(), n);
+            for h in hits {
+                assert_eq!(h.score.to_bits(), want[h.id as usize].to_bits());
+            }
+        });
+    }
+
+    #[test]
+    fn u4_kernel_matches_scalar_reference_with_odd_m() {
+        let dim = 6;
+        let data = VectorSet::from_fn(dim, 64, |r, c| ((r * 7 + c) % 9) as f32);
+        let book = PqCodebook::train(&data, &PqConfig { m: 3, kstar: 16, iters: 4, seed: 0 });
+        let q = vec![0.5f32; dim];
+        let lut = Lut::build_ip(&q, &book, LutPrecision::F32);
+        anna_testkit::forall("u4 kernel odd m scalar reference", 16, |rng| {
+            let n = rng.usize(1..60);
+            let codes = random_codes(rng, 3, CodeWidth::U4, 16, n);
+            let ids: Vec<u64> = (0..n as u64).collect();
+            let mut top = TopK::new(n);
+            scan_u4(&codes, &ids, &lut, &mut top);
+            let want = scalar_reference(&codes, &lut);
+            for h in top.into_sorted_vec() {
+                assert_eq!(h.score.to_bits(), want[h.id as usize].to_bits());
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "id/code count mismatch")]
+    fn mismatched_id_count_panics() {
+        let (_, codes, mut ids, lut) = setup(16, 4);
+        ids.pop();
+        let mut top = TopK::new(4);
+        scan(&codes, &ids, &lut, &mut top);
+    }
+
+    #[test]
+    #[should_panic(expected = "LUT table count mismatch")]
+    fn mismatched_lut_table_count_panics() {
+        let (_, codes, ids, _) = setup(16, 4);
+        // A LUT with m = 2 tables against m = 4 codes.
+        let dim = 4;
+        let data = VectorSet::from_fn(dim, 64, |r, c| ((r * 5 + c) % 11) as f32);
+        let book = PqCodebook::train(&data, &PqConfig { m: 2, kstar: 16, iters: 3, seed: 0 });
+        let wrong = Lut::build_ip(&vec![1.0; dim], &book, LutPrecision::F32);
+        let mut top = TopK::new(4);
+        scan(&codes, &ids, &wrong, &mut top);
+    }
+
+    #[test]
+    #[should_panic(expected = "u4 kernel requires a 16-entry LUT")]
+    fn u4_kernel_rejects_wide_lut() {
+        let (_, _, _, wide_lut) = setup(256, 4);
+        let mut rng = anna_testkit::TestRng::new(7);
+        let codes = random_codes(&mut rng, 4, CodeWidth::U4, 16, 8);
+        let ids: Vec<u64> = (0..8).collect();
+        let mut top = TopK::new(4);
+        scan_u4(&codes, &ids, &wide_lut, &mut top);
+    }
+
+    #[test]
+    #[should_panic]
+    fn u8_kernel_rejects_u4_codes() {
+        let (_, _, _, lut) = setup(16, 4);
+        let mut rng = anna_testkit::TestRng::new(9);
+        let codes = random_codes(&mut rng, 4, CodeWidth::U4, 16, 8);
+        let ids: Vec<u64> = (0..8).collect();
+        let mut top = TopK::new(4);
+        scan_u8(&codes, &ids, &lut, &mut top);
+    }
+
     #[test]
     fn bias_shifts_every_score() {
         let (_, codes, ids, lut) = setup(16, 4);

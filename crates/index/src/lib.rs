@@ -21,7 +21,9 @@
 //!   each cluster's codes are read once per batch (the software analogue of
 //!   ANNA's memory-traffic optimization, and of Faiss16's CPU schedule,
 //!   which the paper notes "processes queries in a way that is similar to
-//!   ANNA memory traffic optimization").
+//!   ANNA memory traffic optimization"). The batched path runs on a
+//!   deterministic worker pool over crossbar-style work tiles
+//!   ([`parallel`]): results are bit-identical for any thread count.
 //!
 //! Measured on the host, this crate *is* the reproduction's CPU baseline
 //! (substituting for Faiss/ScaNN binaries; see DESIGN.md).
@@ -53,8 +55,10 @@ pub mod io;
 pub mod ivf;
 pub mod kernels;
 pub mod lut;
+pub mod parallel;
 
-pub use batched::BatchedScan;
+pub use batched::{BatchStats, BatchedScan};
+pub use parallel::{crossbar_tiles, BatchExec, ClusterTile};
 pub use io::{read_index, write_index};
 pub use ivf::{IndexStats, IvfPqConfig, IvfPqIndex, SearchStats, Trainer};
 pub use lut::{Lut, LutPrecision};

@@ -1,0 +1,311 @@
+//! Work-tiling and the deterministic worker pool behind [`BatchedScan`].
+//!
+//! ANNA's batch engine assigns work to its 16 similarity-computation
+//! modules (SCMs) through a crossbar: the cluster-major schedule is cut
+//! into *(cluster, query-group)* tiles, and each tile is routed to an SCM
+//! group (Section IV-A). This module reproduces that assignment in
+//! software:
+//!
+//! * [`crossbar_tiles`] cuts a batch's per-cluster visitor lists into
+//!   [`ClusterTile`]s — the **same** tiling the accelerator model's
+//!   `anna_core::batch::plan` turns into timed rounds, so the software
+//!   engine and the simulator agree on work placement by construction.
+//! * [`execute_tiles`] runs the tiles on a scoped-thread worker pool.
+//!   Workers pull tiles off a shared atomic cursor (dynamic
+//!   self-scheduling, like the crossbar arbitrating SCM groups), score
+//!   them with the ADC kernels into per-worker [`TopK`] accumulators, and
+//!   the accumulators are merged after the pool joins.
+//!
+//! # Determinism
+//!
+//! The merged result is **bit-identical to the serial schedule regardless
+//! of thread count or OS scheduling**, because:
+//!
+//! 1. Every `(cluster, query)` visit lands in exactly one tile, so each
+//!    query sees the same candidate multiset under any partition.
+//! 2. Scores are schedule-invariant: the lookup table for a
+//!    `(query, cluster)` pair is built from scratch inside the tile that
+//!    scores it, and the per-vector lookup sum runs in code order within
+//!    the cluster — no accumulation crosses a tile boundary.
+//! 3. Candidate ids are unique per query and [`TopK`]'s order is total
+//!    (higher score first, ties to the lower id, NaN rejected), so the
+//!    kept top-k *set* is a pure function of the candidate multiset and
+//!    [`TopK::merge`] is commutative and associative.
+//!
+//! Per-tile [`BatchStats`] are `u64` sums, so they too are
+//! partition-invariant.
+//!
+//! [`BatchedScan`]: crate::batched::BatchedScan
+
+use crate::batched::BatchStats;
+use crate::ivf::IvfPqIndex;
+use crate::kernels;
+use crate::lut::Lut;
+use crate::SearchParams;
+use anna_vector::{metric, TopK, VectorSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One unit of batch work: one query group scored against one cluster —
+/// the software mirror of a crossbar grant to an SCM group (and of one
+/// timed `Round` in `anna_core::batch`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterTile {
+    /// Cluster whose codes this tile scans.
+    pub cluster: usize,
+    /// Queries scored in this tile (ascending, `≤ queries_per_tile`).
+    pub queries: Vec<usize>,
+    /// Whether this is the first tile of its cluster — the one that pays
+    /// the code fetch (later tiles of the same cluster reuse the buffer).
+    pub fetches_codes: bool,
+}
+
+/// Cuts per-cluster visitor lists into cluster-major [`ClusterTile`]s.
+///
+/// `visiting[c]` lists the queries visiting cluster `c` (the inverted
+/// "array of arrays" of Section IV-A, as produced by
+/// [`BatchedScan::plan`](crate::batched::BatchedScan::plan)). Clusters
+/// with no visitors produce no tiles. `queries_per_tile` bounds the query
+/// group per tile — the accelerator uses `N_SCM / g`; `0` means unbounded
+/// (one tile per visited cluster, which is what the software engine wants
+/// since a thread scores its whole query group anyway).
+pub fn crossbar_tiles(visiting: &[Vec<usize>], queries_per_tile: usize) -> Vec<ClusterTile> {
+    let cap = if queries_per_tile == 0 {
+        usize::MAX
+    } else {
+        queries_per_tile
+    };
+    let mut tiles = Vec::new();
+    for (cluster, qs) in visiting.iter().enumerate() {
+        if qs.is_empty() {
+            continue;
+        }
+        for (chunk_idx, chunk) in qs.chunks(cap).enumerate() {
+            tiles.push(ClusterTile {
+                cluster,
+                queries: chunk.to_vec(),
+                fetches_codes: chunk_idx == 0,
+            });
+        }
+    }
+    tiles
+}
+
+/// Execution knobs for the parallel batch engine.
+///
+/// The default (`threads: 0, queries_per_group: 0`) runs one worker per
+/// available core with one tile per visited cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchExec {
+    /// Worker threads; `0` means one per available core.
+    pub threads: usize,
+    /// Query-group bound per tile (`0` = whole cluster in one tile).
+    /// Smaller groups expose more parallelism for skewed batches at the
+    /// cost of extra merge work; the accelerator analogue is `N_SCM / g`.
+    pub queries_per_group: usize,
+}
+
+impl BatchExec {
+    /// The single-threaded reference configuration.
+    pub fn serial() -> Self {
+        Self {
+            threads: 1,
+            queries_per_group: 0,
+        }
+    }
+
+    /// A parallel configuration with an explicit thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads,
+            queries_per_group: 0,
+        }
+    }
+
+    /// The concrete worker count (`threads`, or the core count when 0).
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Per-worker accumulator: one optional [`TopK`] per batch query plus the
+/// worker's share of the traffic statistics.
+struct TileAccum {
+    tops: Vec<Option<TopK>>,
+    stats: BatchStats,
+}
+
+impl TileAccum {
+    fn new(nq: usize) -> Self {
+        Self {
+            tops: (0..nq).map(|_| None).collect(),
+            stats: BatchStats::default(),
+        }
+    }
+
+    /// Scores one tile: fetch-flagged tiles account the cluster load,
+    /// every tile accounts its visits, and each query's lookup table is
+    /// built and scanned exactly as the serial path would.
+    fn score_tile(
+        &mut self,
+        index: &IvfPqIndex,
+        queries: &VectorSet,
+        params: &SearchParams,
+        ip_base: Option<&[Lut]>,
+        tile: &ClusterTile,
+    ) {
+        let cluster = index.cluster(tile.cluster);
+        let bytes = cluster.encoded_bytes();
+        if tile.fetches_codes {
+            self.stats.clusters_loaded += 1;
+            self.stats.code_bytes_loaded += bytes;
+        }
+        self.stats.query_cluster_visits += tile.queries.len() as u64;
+        self.stats.conventional_code_bytes += bytes * tile.queries.len() as u64;
+
+        for &qi in &tile.queries {
+            let q = queries.row(qi);
+            let lut = match ip_base {
+                Some(base) => {
+                    base[qi].with_bias(metric::dot(q, index.centroids().row(tile.cluster)))
+                }
+                None => index.build_lut(q, tile.cluster, params),
+            };
+            let top = self.tops[qi].get_or_insert_with(|| TopK::new(params.k));
+            kernels::scan(&cluster.codes, &cluster.ids, &lut, top);
+        }
+    }
+}
+
+/// Runs `tiles` on `threads` scoped workers and merges the per-worker
+/// accumulators into one [`TopK`] per query plus aggregate [`BatchStats`].
+///
+/// See the module docs for why the output is independent of `threads` and
+/// of how the OS schedules the workers.
+pub(crate) fn execute_tiles(
+    index: &IvfPqIndex,
+    queries: &VectorSet,
+    params: &SearchParams,
+    ip_base: Option<&[Lut]>,
+    tiles: &[ClusterTile],
+    threads: usize,
+) -> (Vec<TopK>, BatchStats) {
+    let nq = queries.len();
+    let mut merged: Vec<TopK> = (0..nq).map(|_| TopK::new(params.k)).collect();
+    let mut stats = BatchStats::default();
+
+    let fold = |acc: TileAccum, merged: &mut Vec<TopK>, stats: &mut BatchStats| {
+        for (qi, top) in acc.tops.into_iter().enumerate() {
+            if let Some(top) = top {
+                merged[qi].merge(&top);
+            }
+        }
+        stats.accumulate(&acc.stats);
+    };
+
+    let workers = threads.max(1).min(tiles.len().max(1));
+    if workers <= 1 {
+        let mut acc = TileAccum::new(nq);
+        for tile in tiles {
+            acc.score_tile(index, queries, params, ip_base, tile);
+        }
+        fold(acc, &mut merged, &mut stats);
+    } else {
+        // Dynamic self-scheduling: workers race on an atomic cursor, so a
+        // thread stuck on a large cluster doesn't strand the tail of the
+        // tile list behind it.
+        let cursor = AtomicUsize::new(0);
+        let done: Mutex<Vec<TileAccum>> = Mutex::new(Vec::with_capacity(workers));
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| {
+                    let mut acc = TileAccum::new(nq);
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(tile) = tiles.get(i) else { break };
+                        acc.score_tile(index, queries, params, ip_base, tile);
+                    }
+                    done.lock().expect("worker poisoned accumulators").push(acc);
+                });
+            }
+        });
+        for acc in done.into_inner().expect("worker poisoned accumulators") {
+            fold(acc, &mut merged, &mut stats);
+        }
+    }
+    (merged, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiles_skip_empty_clusters_and_split_large_ones() {
+        let visiting = vec![vec![0, 1, 2, 3, 4], vec![], vec![7]];
+        let tiles = crossbar_tiles(&visiting, 2);
+        assert_eq!(tiles.len(), 4);
+        assert_eq!(tiles[0].queries, vec![0, 1]);
+        assert!(tiles[0].fetches_codes);
+        assert_eq!(tiles[1].queries, vec![2, 3]);
+        assert!(!tiles[1].fetches_codes);
+        assert_eq!(tiles[2].queries, vec![4]);
+        assert!(!tiles[2].fetches_codes);
+        assert_eq!(tiles[3].cluster, 2);
+        assert!(tiles[3].fetches_codes);
+    }
+
+    #[test]
+    fn zero_group_bound_means_one_tile_per_cluster() {
+        let visiting = vec![vec![0; 1000], vec![1]];
+        let tiles = crossbar_tiles(&visiting, 0);
+        assert_eq!(tiles.len(), 2);
+        assert_eq!(tiles[0].queries.len(), 1000);
+    }
+
+    #[test]
+    fn tiles_partition_every_visit_exactly_once() {
+        let visiting = vec![vec![0, 2, 4], vec![1, 3], vec![], vec![0, 1, 2, 3, 4, 5]];
+        for cap in [0, 1, 2, 3, 7] {
+            let tiles = crossbar_tiles(&visiting, cap);
+            let mut seen: Vec<(usize, usize)> = tiles
+                .iter()
+                .flat_map(|t| t.queries.iter().map(move |&q| (t.cluster, q)))
+                .collect();
+            seen.sort_unstable();
+            let mut expect: Vec<(usize, usize)> = visiting
+                .iter()
+                .enumerate()
+                .flat_map(|(c, qs)| qs.iter().map(move |&q| (c, q)))
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(seen, expect, "cap {cap}");
+        }
+    }
+
+    #[test]
+    fn exactly_one_fetch_per_visited_cluster() {
+        let visiting = vec![vec![0; 17], vec![], vec![1; 5], vec![2]];
+        let tiles = crossbar_tiles(&visiting, 4);
+        for cluster in [0, 2, 3] {
+            let fetches = tiles
+                .iter()
+                .filter(|t| t.cluster == cluster && t.fetches_codes)
+                .count();
+            assert_eq!(fetches, 1, "cluster {cluster}");
+        }
+    }
+
+    #[test]
+    fn batch_exec_resolves_thread_counts() {
+        assert_eq!(BatchExec::serial().resolved_threads(), 1);
+        assert_eq!(BatchExec::with_threads(3).resolved_threads(), 3);
+        assert!(BatchExec::default().resolved_threads() >= 1);
+    }
+}

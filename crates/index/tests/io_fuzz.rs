@@ -1,9 +1,10 @@
 //! Robustness tests for the index binary reader: arbitrary corruption must
-//! produce an error, never a panic or a bogus index.
+//! produce an error, never a panic or a bogus index (seeded `anna-testkit`
+//! harness; failures report a replayable seed).
 
 use anna_index::{io, IvfPqConfig, IvfPqIndex};
+use anna_testkit::forall;
 use anna_vector::{Metric, VectorSet};
-use proptest::prelude::*;
 
 fn serialized_index() -> Vec<u8> {
     let data = VectorSet::from_fn(8, 200, |r, c| ((r * 13 + c * 5) % 23) as f32);
@@ -24,47 +25,55 @@ fn serialized_index() -> Vec<u8> {
     buf
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Truncating the stream anywhere yields an error, not a panic.
-    #[test]
-    fn truncation_never_panics(frac in 0.0f64..1.0) {
-        let buf = serialized_index();
-        let cut = ((buf.len() as f64) * frac) as usize;
-        let result = std::panic::catch_unwind(|| io::read_index(&buf[..cut]));
+/// Truncating the stream anywhere yields an error, not a panic.
+#[test]
+fn truncation_never_panics() {
+    let buf = serialized_index();
+    forall("truncation never panics", 64, |rng| {
+        let cut = ((buf.len() as f64) * rng.unit_f64()) as usize;
+        let slice = &buf[..cut];
+        let result = std::panic::catch_unwind(|| io::read_index(slice));
         let inner = result.expect("reader panicked on truncated input");
         if cut < buf.len() {
-            prop_assert!(inner.is_err(), "truncated read at {cut}/{} succeeded", buf.len());
+            assert!(inner.is_err(), "truncated read at {cut}/{} succeeded", buf.len());
         }
-    }
+    });
+}
 
-    /// Flipping bytes in the header region yields an error or a
-    /// well-formed (if meaningless) index, never a panic.
-    #[test]
-    fn header_corruption_never_panics(offset in 0usize..25, value in any::<u8>()) {
-        let mut buf = serialized_index();
-        if buf[offset] == value {
-            return Ok(()); // no-op mutation
+/// Flipping bytes in the header region yields an error or a
+/// well-formed (if meaningless) index, never a panic.
+#[test]
+fn header_corruption_never_panics() {
+    let pristine = serialized_index();
+    forall("header corruption never panics", 64, |rng| {
+        let offset = rng.usize(0..25);
+        let value = rng.below(256) as u8;
+        if pristine[offset] == value {
+            return; // no-op mutation
         }
+        let mut buf = pristine.clone();
         buf[offset] = value;
         let result = std::panic::catch_unwind(move || {
             let _ = io::read_index(&buf[..]);
         });
-        prop_assert!(result.is_ok(), "reader panicked on corrupt header byte {offset}");
-    }
+        assert!(result.is_ok(), "reader panicked on corrupt header byte {offset}");
+    });
+}
 
-    /// Flipping bytes in the payload never panics either (codes and floats
-    /// are all valid bit patterns, so these reads may succeed — they must
-    /// just not crash).
-    #[test]
-    fn payload_corruption_never_panics(offset_frac in 0.1f64..1.0, value in any::<u8>()) {
-        let mut buf = serialized_index();
-        let offset = 25 + ((buf.len() - 26) as f64 * offset_frac) as usize;
-        buf[offset] = value;
+/// Flipping bytes in the payload never panics either (codes and floats
+/// are all valid bit patterns, so these reads may succeed — they must
+/// just not crash).
+#[test]
+fn payload_corruption_never_panics() {
+    let pristine = serialized_index();
+    forall("payload corruption never panics", 64, |rng| {
+        let offset_frac = rng.f64(0.1..1.0);
+        let offset = 25 + ((pristine.len() - 26) as f64 * offset_frac) as usize;
+        let mut buf = pristine.clone();
+        buf[offset] = rng.below(256) as u8;
         let result = std::panic::catch_unwind(move || {
             let _ = io::read_index(&buf[..]);
         });
-        prop_assert!(result.is_ok(), "reader panicked on corrupt payload byte {offset}");
-    }
+        assert!(result.is_ok(), "reader panicked on corrupt payload byte {offset}");
+    });
 }

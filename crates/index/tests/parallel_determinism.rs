@@ -1,0 +1,122 @@
+//! The ISSUE's acceptance matrix: the parallel cluster-major engine must be
+//! bit-identical to the serial schedule — neighbors AND traffic stats — for
+//! every combination of
+//!
+//! * metric in {L2, InnerProduct},
+//! * code width in {k* = 16, k* = 256},
+//! * worker count in {1, 2, 4, 8},
+//! * tile bound (queries_per_group) in {0 = unbounded, small},
+//!
+//! on duplicate-heavy data where many database vectors share exact scores,
+//! so any schedule-dependent tie-breaking in the merge would show up.
+
+use anna_index::{BatchExec, BatchedScan, IvfPqConfig, IvfPqIndex, LutPrecision, SearchParams};
+use anna_testkit::{forall, TestRng};
+use anna_vector::{Metric, VectorSet};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Duplicate-heavy dataset: only `distinct` unique rows, each repeated many
+/// times, so PQ codes — and therefore ADC scores — collide constantly and
+/// the top-k outcome hinges on the id tie-break.
+fn tie_heavy_data(dim: usize, n: usize, distinct: usize) -> VectorSet {
+    VectorSet::from_fn(dim, n, |r, c| {
+        let blob = (r % distinct) as f32;
+        blob * 10.0 + ((blob as usize * 31 + c * 7) % 11) as f32 * 0.3
+    })
+}
+
+fn build(metric: Metric, kstar: usize) -> (VectorSet, IvfPqIndex) {
+    let data = tie_heavy_data(8, 480, 24);
+    let cfg = IvfPqConfig {
+        metric,
+        num_clusters: 10,
+        m: 4,
+        kstar,
+        ..IvfPqConfig::default()
+    };
+    let index = IvfPqIndex::build(&data, &cfg);
+    (data, index)
+}
+
+/// Core property: for random queries, probe widths, k, and tile bounds, all
+/// worker counts reproduce the serial neighbors and stats exactly.
+fn parallel_matches_serial(metric: Metric, kstar: usize) {
+    let (data, index) = build(metric, kstar);
+    let scan = BatchedScan::new(&index);
+    let name = format!("parallel == serial ({metric:?}, kstar={kstar})");
+    forall(&name, 12, |rng: &mut TestRng| {
+        let batch = rng.usize(1..64);
+        let ids: Vec<usize> = (0..batch).map(|_| rng.usize(0..data.len())).collect();
+        let queries = data.gather(&ids);
+        let params = SearchParams {
+            nprobe: rng.usize(1..8),
+            k: rng.usize(1..12),
+            lut_precision: LutPrecision::F32,
+        };
+        let group = *rng.pick(&[0usize, 1, 3, 7]);
+
+        let (serial, serial_stats) = scan.run_serial(&queries, &params);
+        for threads in THREADS {
+            let exec = BatchExec {
+                threads,
+                queries_per_group: group,
+            };
+            let (par, par_stats) = scan.run_with(&queries, &params, &exec);
+            // Exact equality: Neighbor derives PartialEq on (id, f32 score),
+            // so this asserts bit-level agreement of every kept hit.
+            assert_eq!(
+                par, serial,
+                "neighbors diverged: threads={threads} group={group}"
+            );
+            assert_eq!(
+                par_stats, serial_stats,
+                "stats diverged: threads={threads} group={group}"
+            );
+        }
+    });
+}
+
+#[test]
+fn l2_kstar16_parallel_matches_serial() {
+    parallel_matches_serial(Metric::L2, 16);
+}
+
+#[test]
+fn l2_kstar256_parallel_matches_serial() {
+    parallel_matches_serial(Metric::L2, 256);
+}
+
+#[test]
+fn inner_product_kstar16_parallel_matches_serial() {
+    parallel_matches_serial(Metric::InnerProduct, 16);
+}
+
+#[test]
+fn inner_product_kstar256_parallel_matches_serial() {
+    parallel_matches_serial(Metric::InnerProduct, 256);
+}
+
+/// The parallel batch engine must also agree with per-query search — the
+/// end-to-end determinism chain (query-major == cluster-major serial ==
+/// cluster-major parallel) on tie-heavy data.
+#[test]
+fn parallel_batch_matches_query_major_search() {
+    let (data, index) = build(Metric::L2, 16);
+    let scan = BatchedScan::new(&index);
+    forall("parallel batch == query-major search", 8, |rng| {
+        let batch = rng.usize(1..24);
+        let ids: Vec<usize> = (0..batch).map(|_| rng.usize(0..data.len())).collect();
+        let queries = data.gather(&ids);
+        let params = SearchParams {
+            nprobe: rng.usize(1..6),
+            k: rng.usize(1..8),
+            lut_precision: LutPrecision::F32,
+        };
+        let (batched, _) = scan.run_with(&queries, &params, &BatchExec::with_threads(4));
+        for (bi, &row) in ids.iter().enumerate() {
+            let single = index.search(data.row(row), &params);
+            assert_eq!(batched[bi], single, "query row {row} diverged");
+        }
+    });
+}

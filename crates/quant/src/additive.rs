@@ -97,8 +97,8 @@ impl AqCodebook {
             );
             // Subtract each point's assigned codeword.
             let assign = km.assign_all(&residual);
-            for i in 0..residual.len() {
-                let c = km.centroids().row(assign[i]).to_vec();
+            for (i, &a) in assign.iter().enumerate() {
+                let c = km.centroids().row(a).to_vec();
                 for (v, w) in residual.row_mut(i).iter_mut().zip(&c) {
                     *v -= w;
                 }

@@ -101,7 +101,7 @@ pub fn loss(x: &[f32], c: &[f32], eta: f64) -> f64 {
 pub fn train(data: &VectorSet, config: &AnisotropicConfig) -> PqCodebook {
     assert!(!data.is_empty(), "cannot train on an empty set");
     assert!(
-        data.dim() % config.m == 0,
+        data.dim().is_multiple_of(config.m),
         "dim {} not divisible by m {}",
         data.dim(),
         config.m

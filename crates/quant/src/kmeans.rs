@@ -164,10 +164,10 @@ fn assign_parallel(data: &VectorSet, centroids: &VectorSet, assignment: &mut [us
         .unwrap_or(1);
     let chunk = data.len().div_ceil(threads).max(1);
     let changed = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (ci, out) in assignment.chunks_mut(chunk).enumerate() {
             let changed = &changed;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let base = ci * chunk;
                 let mut local = 0;
                 for (off, slot) in out.iter_mut().enumerate() {
@@ -180,8 +180,7 @@ fn assign_parallel(data: &VectorSet, centroids: &VectorSet, assignment: &mut [us
                 changed.fetch_add(local, std::sync::atomic::Ordering::Relaxed);
             });
         }
-    })
-    .expect("k-means assignment worker panicked");
+    });
     changed.into_inner()
 }
 

@@ -49,8 +49,8 @@ impl SmallMat {
         assert_eq!(u.len(), self.n);
         for i in 0..self.n {
             let si = s * u[i];
-            for j in 0..self.n {
-                self.data[i * self.n + j] += si * u[j];
+            for (j, &uj) in u.iter().enumerate() {
+                self.data[i * self.n + j] += si * uj;
             }
         }
     }

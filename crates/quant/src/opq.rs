@@ -65,7 +65,7 @@ impl Opq {
         assert!(!data.is_empty(), "cannot train OPQ on an empty set");
         let d = data.dim();
         assert!(
-            d % config.pq.m == 0,
+            d.is_multiple_of(config.pq.m),
             "dim {} not divisible by m {}",
             d,
             config.pq.m

@@ -95,7 +95,7 @@ impl PqCodebook {
     pub fn train(data: &VectorSet, config: &PqConfig) -> Self {
         assert!(!data.is_empty(), "cannot train PQ on an empty set");
         assert!(
-            data.dim() % config.m == 0,
+            data.dim().is_multiple_of(config.m),
             "dim {} not divisible by m {}",
             data.dim(),
             config.m

@@ -1,4 +1,5 @@
-//! Property-based tests for the training substrate.
+//! Property-based tests for the training substrate (seeded `anna-testkit`
+//! harness; failures report a replayable seed).
 
 use anna_quant::additive::{AqCodebook, AqConfig};
 use anna_quant::codes::{CodeWidth, PackedCodes};
@@ -6,23 +7,22 @@ use anna_quant::kmeans::{KMeans, KMeansConfig};
 use anna_quant::linalg::SmallMat;
 use anna_quant::opq::{Opq, OpqConfig};
 use anna_quant::pq::{PqCodebook, PqConfig};
+use anna_testkit::forall;
 use anna_vector::{metric, VectorSet};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Packed codes always round-trip, at both widths and any m.
-    #[test]
-    fn packed_codes_roundtrip(
-        m in 1usize..20,
-        rows in prop::collection::vec(prop::collection::vec(0u8..16, 1..20), 1..30),
-        wide in any::<bool>(),
-    ) {
+/// Packed codes always round-trip, at both widths and any m.
+#[test]
+fn packed_codes_roundtrip() {
+    forall("packed codes roundtrip", 32, |rng| {
+        let m = rng.usize(1..20);
+        let nrows = rng.usize(1..30);
+        let wide = rng.bool();
         let width = if wide { CodeWidth::U8 } else { CodeWidth::U4 };
         let mut packed = PackedCodes::new(m, width);
         let mut expect = Vec::new();
-        for row in &rows {
+        for _ in 0..nrows {
+            let len = rng.usize(1..20);
+            let row = rng.vec_u8(len, 16);
             let mut codes: Vec<u8> = row.iter().cycle().take(m).cloned().collect();
             if wide {
                 // Exercise the full byte range in U8 mode.
@@ -33,33 +33,37 @@ proptest! {
             packed.push(&codes);
             expect.push(codes);
         }
-        prop_assert_eq!(packed.len(), expect.len());
+        assert_eq!(packed.len(), expect.len());
         for (i, want) in expect.iter().enumerate() {
-            prop_assert_eq!(&packed.get(i), want);
+            assert_eq!(&packed.get(i), want);
         }
         // Total storage matches the paper's M*log2(k*)/8 formula per vector.
-        prop_assert_eq!(packed.bytes().len(), expect.len() * width.vector_bytes(m));
-    }
+        assert_eq!(packed.bytes().len(), expect.len() * width.vector_bytes(m));
+    });
+}
 
-    /// k-means inertia never exceeds the inertia of a 1-centroid model
-    /// (the global mean is the best single centroid).
-    #[test]
-    fn kmeans_beats_single_centroid(
-        seed in 0u64..1000,
-        n in 8usize..60,
-    ) {
+/// k-means inertia never exceeds the inertia of a 1-centroid model
+/// (the global mean is the best single centroid).
+#[test]
+fn kmeans_beats_single_centroid() {
+    forall("kmeans beats single centroid", 32, |rng| {
+        let seed = rng.u64(0..1000);
+        let n = rng.usize(8..60);
         let data = VectorSet::from_fn(3, n, |r, c| {
             ((r as u64 * 2654435761 + c as u64 * 40503 + seed) % 97) as f32
         });
         let one = KMeans::train(&data, &KMeansConfig { k: 1, max_iters: 10, seed });
         let four = KMeans::train(&data, &KMeansConfig { k: 4, max_iters: 10, seed });
-        prop_assert!(four.inertia(&data) <= one.inertia(&data) + 1e-6);
-    }
+        assert!(four.inertia(&data) <= one.inertia(&data) + 1e-6);
+    });
+}
 
-    /// Every PQ encode produces in-range identifiers and decode returns the
-    /// nearest codeword per subspace.
-    #[test]
-    fn pq_encode_is_nearest_codeword(seed in 0u64..500) {
+/// Every PQ encode produces in-range identifiers and decode returns the
+/// nearest codeword per subspace.
+#[test]
+fn pq_encode_is_nearest_codeword() {
+    forall("pq encode is nearest codeword", 32, |rng| {
+        let seed = rng.u64(0..500);
         let data = VectorSet::from_fn(6, 80, |r, c| {
             ((r as u64 * 31 + c as u64 * 17 + seed * 7) % 23) as f32
         });
@@ -67,31 +71,31 @@ proptest! {
         for i in 0..data.len() {
             let codes = book.encode(data.row(i));
             for (j, &code) in codes.iter().enumerate() {
-                prop_assert!((code as usize) < book.kstar());
+                assert!((code as usize) < book.kstar());
                 let x = data.subvector(i, 3, j);
                 let chosen = metric::l2_squared(x, book.book(j).row(code as usize));
                 for alt in 0..book.kstar() {
                     let d = metric::l2_squared(x, book.book(j).row(alt));
-                    prop_assert!(chosen <= d + 1e-4,
-                        "vector {i} subspace {j}: code {code} (d={chosen}) beaten by {alt} (d={d})");
+                    assert!(
+                        chosen <= d + 1e-4,
+                        "vector {i} subspace {j}: code {code} (d={chosen}) beaten by {alt} (d={d})"
+                    );
                 }
             }
         }
-    }
+    });
+}
 
-    /// The polar factor of any (well-conditioned) random matrix is
-    /// orthogonal to machine precision.
-    #[test]
-    fn polar_factor_is_always_orthogonal(seed in 0u64..300, n in 2usize..8) {
-        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(17);
-        let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-            ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
-        };
+/// The polar factor of any (well-conditioned) random matrix is
+/// orthogonal to machine precision.
+#[test]
+fn polar_factor_is_always_orthogonal() {
+    forall("polar factor is always orthogonal", 32, |rng| {
+        let n = rng.usize(2..8);
         let mut m = SmallMat::zeros(n);
         for i in 0..n {
             for j in 0..n {
-                m[(i, j)] = next() * 10.0 + if i == j { 3.0 } else { 0.0 };
+                m[(i, j)] = (rng.unit_f64() - 0.5) * 10.0 + if i == j { 3.0 } else { 0.0 };
             }
         }
         if let Some(r) = m.polar_orthogonal() {
@@ -99,56 +103,75 @@ proptest! {
             for i in 0..n {
                 for j in 0..n {
                     let want = if i == j { 1.0 } else { 0.0 };
-                    prop_assert!((rtr[(i, j)] - want).abs() < 1e-7,
-                        "RtR[{i}{j}] = {}", rtr[(i, j)]);
+                    assert!(
+                        (rtr[(i, j)] - want).abs() < 1e-7,
+                        "RtR[{i}{j}] = {}",
+                        rtr[(i, j)]
+                    );
                 }
             }
         }
-    }
+    });
+}
 
-    /// OPQ rotations preserve pairwise distances (isometry), for any data.
-    #[test]
-    fn opq_rotation_is_an_isometry(seed in 0u64..100) {
+/// OPQ rotations preserve pairwise distances (isometry), for any data.
+#[test]
+fn opq_rotation_is_an_isometry() {
+    forall("opq rotation is an isometry", 16, |rng| {
+        let seed = rng.u64(0..100);
         let data = VectorSet::from_fn(4, 120, |r, c| {
             (((r as u64 * 37 + c as u64 * 11 + seed * 13) % 29) as f32) - 14.0
         });
-        let opq = Opq::train(&data, &OpqConfig {
-            pq: PqConfig { m: 2, kstar: 4, iters: 3, seed },
-            outer_iters: 2,
-        });
+        let opq = Opq::train(
+            &data,
+            &OpqConfig {
+                pq: PqConfig { m: 2, kstar: 4, iters: 3, seed },
+                outer_iters: 2,
+            },
+        );
         for (i, j) in [(0usize, 1usize), (5, 50), (20, 100)] {
             let d_orig = metric::l2_squared(data.row(i), data.row(j));
             let d_rot = metric::l2_squared(&opq.rotate(data.row(i)), &opq.rotate(data.row(j)));
-            prop_assert!((d_orig - d_rot).abs() <= 1e-2 * (1.0 + d_orig),
-                "distance changed under rotation: {d_orig} vs {d_rot}");
+            assert!(
+                (d_orig - d_rot).abs() <= 1e-2 * (1.0 + d_orig),
+                "distance changed under rotation: {d_orig} vs {d_rot}"
+            );
         }
-    }
+    });
+}
 
-    /// AQ encode/decode round-trips produce in-range identifiers and the
-    /// IP LUT score always matches the decoded dot product.
-    #[test]
-    fn aq_scores_match_decoded(seed in 0u64..100) {
+/// AQ encode/decode round-trips produce in-range identifiers and the
+/// IP LUT score always matches the decoded dot product.
+#[test]
+fn aq_scores_match_decoded() {
+    forall("aq scores match decoded", 16, |rng| {
+        let seed = rng.u64(0..100);
         let data = VectorSet::from_fn(4, 100, |r, c| {
             (((r as u64 * 23 + c as u64 * 7 + seed) % 19) as f32) * 0.5
         });
-        let book = AqCodebook::train(&data, &AqConfig { m: 2, kstar: 4, iters: 4, beam: 2, seed });
+        let book = AqCodebook::train(
+            &data,
+            &AqConfig { m: 2, kstar: 4, iters: 4, beam: 2, seed },
+        );
         let q: Vec<f32> = (0..4).map(|i| (i as f32) - 1.5).collect();
         let lut = book.build_lut(&q);
         for i in (0..data.len()).step_by(17) {
             let code = book.encode(data.row(i));
-            prop_assert!(code.codes.iter().all(|&c| (c as usize) < 4));
+            assert!(code.codes.iter().all(|&c| (c as usize) < 4));
             let want = metric::dot(&q, &book.decode(&code.codes));
             let got = AqCodebook::score_ip(&lut, &code);
-            prop_assert!((want - got).abs() <= 0.05 * (1.0 + want.abs()),
-                "{want} vs {got}");
+            assert!((want - got).abs() <= 0.05 * (1.0 + want.abs()), "{want} vs {got}");
         }
-    }
+    });
+}
 
-    /// Decoding an encoded vector never increases the distance versus any
-    /// single codeword combination (PQ optimality per subspace implies
-    /// global optimality of the concatenation).
-    #[test]
-    fn pq_reconstruction_is_subspace_optimal(seed in 0u64..200) {
+/// Decoding an encoded vector never increases the distance versus any
+/// single codeword combination (PQ optimality per subspace implies
+/// global optimality of the concatenation).
+#[test]
+fn pq_reconstruction_is_subspace_optimal() {
+    forall("pq reconstruction is subspace optimal", 32, |rng| {
+        let seed = rng.u64(0..200);
         let data = VectorSet::from_fn(4, 60, |r, c| {
             (((r + 3) as u64 * 101 + c as u64 * 59 + seed * 11) % 41) as f32
         });
@@ -161,9 +184,9 @@ proptest! {
             for c0 in 0..4u8 {
                 for c1 in 0..4u8 {
                     let alt = book.decode(&[c0, c1]);
-                    prop_assert!(best_d <= metric::l2_squared(v, &alt) + 1e-4);
+                    assert!(best_d <= metric::l2_squared(v, &alt) + 1e-4);
                 }
             }
         }
-    }
+    });
 }

@@ -44,20 +44,19 @@ pub fn search(queries: &VectorSet, db: &VectorSet, metric: Metric, k: usize) -> 
         .unwrap_or(1);
     let chunk = nq.div_ceil(threads.max(1)).max(1);
 
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (qchunk, out) in queries
             .as_slice()
             .chunks(chunk * queries.dim())
             .zip(results.chunks_mut(chunk))
         {
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for (qi, q) in qchunk.chunks_exact(db.dim()).enumerate() {
                     out[qi] = search_one(q, db, metric, k);
                 }
             });
         }
-    })
-    .expect("exact search worker panicked");
+    });
 
     results
 }

@@ -49,7 +49,7 @@ impl VectorSet {
     pub fn from_rows(dim: usize, data: &[f32]) -> Self {
         assert!(dim > 0, "vector dimension must be positive");
         assert!(
-            data.len() % dim == 0,
+            data.len().is_multiple_of(dim),
             "data length {} is not a multiple of dim {dim}",
             data.len()
         );
@@ -78,7 +78,7 @@ impl VectorSet {
     pub fn from_vec(dim: usize, data: Vec<f32>) -> Self {
         assert!(dim > 0, "vector dimension must be positive");
         assert!(
-            data.len() % dim == 0,
+            data.len().is_multiple_of(dim),
             "data length {} is not a multiple of dim {dim}",
             data.len()
         );
@@ -173,7 +173,7 @@ impl VectorSet {
     /// Panics if `dim` is not divisible by `m`, or the indices are out of
     /// range.
     pub fn subvector(&self, i: usize, m: usize, j: usize) -> &[f32] {
-        assert!(self.dim % m == 0, "dim {} not divisible by m {m}", self.dim);
+        assert!(self.dim.is_multiple_of(m), "dim {} not divisible by m {m}", self.dim);
         assert!(j < m, "sub-vector index {j} out of range for m {m}");
         let sub = self.dim / m;
         let row = self.row(i);

@@ -147,6 +147,19 @@ impl TopK {
     }
 
     /// Merges another selector's contents into this one.
+    ///
+    /// # Order independence
+    ///
+    /// Merging is commutative and associative *in the result set*: as long
+    /// as every candidate id is pushed at most once across all selectors
+    /// being combined, the surviving set (and therefore
+    /// [`TopK::into_sorted_vec`]) does not depend on how candidates were
+    /// partitioned or in which order partial selectors are merged. This
+    /// holds because [`Neighbor`]'s order is total (higher score first,
+    /// equal scores broken by lower id, NaN rejected at [`TopK::push`]), so
+    /// "the best `k` of a candidate multiset" is unique. The parallel
+    /// batch engine (`anna-index`) relies on this to produce bit-identical
+    /// results for any thread schedule.
     pub fn merge(&mut self, other: &TopK) {
         for r in other.heap.iter() {
             self.push(r.0.id, r.0.score);
@@ -210,6 +223,42 @@ mod tests {
         let mut t2 = TopK::new(1);
         t2.push(9, 5.0);
         assert!(t2.push(7, 5.0), "equal score, lower id must win");
+    }
+
+    #[test]
+    fn equal_scores_order_by_ascending_id() {
+        // Regression: a tie-heavy stream must come back sorted by id within
+        // each score level, regardless of insertion order.
+        let mut t = TopK::new(4);
+        for id in [9u64, 3, 7, 1, 5] {
+            t.push(id, 2.5);
+        }
+        let ids: Vec<u64> = t.into_sorted_vec().iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![1, 3, 5, 7]);
+    }
+
+    #[test]
+    fn merge_order_does_not_change_result_under_ties() {
+        // Two partials holding the same tied score level; merging in either
+        // order must keep the lowest ids.
+        let mut a = TopK::new(2);
+        a.push(10, 1.0);
+        a.push(30, 1.0);
+        let mut b = TopK::new(2);
+        b.push(20, 1.0);
+        b.push(5, 1.0);
+
+        let mut ab = TopK::new(2);
+        ab.merge(&a);
+        ab.merge(&b);
+        let mut ba = TopK::new(2);
+        ba.merge(&b);
+        ba.merge(&a);
+
+        let ids_ab: Vec<u64> = ab.into_sorted_vec().iter().map(|n| n.id).collect();
+        let ids_ba: Vec<u64> = ba.into_sorted_vec().iter().map(|n| n.id).collect();
+        assert_eq!(ids_ab, vec![5, 10]);
+        assert_eq!(ids_ab, ids_ba);
     }
 
     #[test]

@@ -1,98 +1,158 @@
-//! Property-based tests for the vector substrate.
+//! Property-based tests for the vector substrate (seeded `anna-testkit`
+//! harness; failures report a replayable seed).
 
+use anna_testkit::{forall, TestRng};
 use anna_vector::{exact, f16, Metric, TopK, VectorSet};
-use proptest::prelude::*;
 
-fn finite_f32() -> impl Strategy<Value = f32> {
-    // Stay within f16's dynamic range so round-trips remain finite.
-    -6.0e4f32..6.0e4f32
+/// Values within f16's dynamic range so round-trips remain finite.
+fn finite_f32(rng: &mut TestRng) -> f32 {
+    rng.f32(-6.0e4..6.0e4)
 }
 
-proptest! {
-    /// f32 -> f16 -> f32 error is within half-precision relative epsilon
-    /// (2^-11) for values in the normal range.
-    #[test]
-    fn f16_round_trip_error_bounded(v in -6.0e4f32..6.0e4f32) {
+/// f32 -> f16 -> f32 error is within half-precision relative epsilon
+/// (2^-11) for values in the normal range.
+#[test]
+fn f16_round_trip_error_bounded() {
+    forall("f16 round trip error bounded", 256, |rng| {
+        let v = finite_f32(rng);
         let r = f16::round_trip(v);
-        let tol = v.abs().max(f32::from(anna_vector::F16::from_bits(0x0400))) * 2.0f32.powi(-11);
-        prop_assert!((r - v).abs() <= tol.max(2.0f32.powi(-24)), "v={v} r={r}");
-    }
+        let tol =
+            v.abs().max(f32::from(anna_vector::F16::from_bits(0x0400))) * 2.0f32.powi(-11);
+        assert!((r - v).abs() <= tol.max(2.0f32.powi(-24)), "v={v} r={r}");
+    });
+}
 
-    /// Round-tripping is idempotent: a value already representable in f16
-    /// maps to itself.
-    #[test]
-    fn f16_round_trip_idempotent(v in finite_f32()) {
+/// Round-tripping is idempotent: a value already representable in f16
+/// maps to itself.
+#[test]
+fn f16_round_trip_idempotent() {
+    forall("f16 round trip idempotent", 256, |rng| {
+        let v = finite_f32(rng);
         let once = f16::round_trip(v);
         let twice = f16::round_trip(once);
-        prop_assert_eq!(once.to_bits(), twice.to_bits());
-    }
+        assert_eq!(once.to_bits(), twice.to_bits());
+    });
+}
 
-    /// f16 conversion preserves ordering (monotone).
-    #[test]
-    fn f16_conversion_is_monotone(a in finite_f32(), b in finite_f32()) {
+/// f16 conversion preserves ordering (monotone).
+#[test]
+fn f16_conversion_is_monotone() {
+    forall("f16 conversion is monotone", 256, |rng| {
+        let a = finite_f32(rng);
+        let b = finite_f32(rng);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(f16::round_trip(lo) <= f16::round_trip(hi));
-    }
+        assert!(f16::round_trip(lo) <= f16::round_trip(hi));
+    });
+}
 
-    /// L2 similarity is symmetric and maximized by self-similarity.
-    #[test]
-    fn l2_symmetric_and_self_maximal(
-        a in prop::collection::vec(-100.0f32..100.0, 8),
-        b in prop::collection::vec(-100.0f32..100.0, 8),
-    ) {
+/// L2 similarity is symmetric and maximized by self-similarity.
+#[test]
+fn l2_symmetric_and_self_maximal() {
+    forall("l2 symmetric and self maximal", 256, |rng| {
+        let a = rng.vec_f32(8, -100.0..100.0);
+        let b = rng.vec_f32(8, -100.0..100.0);
         let sab = Metric::L2.similarity(&a, &b);
         let sba = Metric::L2.similarity(&b, &a);
-        prop_assert!((sab - sba).abs() <= 1e-2 * (1.0 + sab.abs()));
-        prop_assert!(Metric::L2.similarity(&a, &a) >= sab - 1e-3);
-        prop_assert!(sab <= 0.0);
-    }
+        assert!((sab - sba).abs() <= 1e-2 * (1.0 + sab.abs()));
+        assert!(Metric::L2.similarity(&a, &a) >= sab - 1e-3);
+        assert!(sab <= 0.0);
+    });
+}
 
-    /// Inner product is bilinear in its first argument (up to float error).
-    #[test]
-    fn inner_product_scales_linearly(
-        a in prop::collection::vec(-10.0f32..10.0, 16),
-        b in prop::collection::vec(-10.0f32..10.0, 16),
-        c in -4.0f32..4.0,
-    ) {
+/// Inner product is bilinear in its first argument (up to float error).
+#[test]
+fn inner_product_scales_linearly() {
+    forall("inner product scales linearly", 256, |rng| {
+        let a = rng.vec_f32(16, -10.0..10.0);
+        let b = rng.vec_f32(16, -10.0..10.0);
+        let c = rng.f32(-4.0..4.0);
         let scaled: Vec<f32> = a.iter().map(|x| x * c).collect();
         let lhs = Metric::InnerProduct.similarity(&scaled, &b);
         let rhs = c * Metric::InnerProduct.similarity(&a, &b);
-        prop_assert!((lhs - rhs).abs() <= 1e-2 * (1.0 + rhs.abs()));
-    }
+        assert!((lhs - rhs).abs() <= 1e-2 * (1.0 + rhs.abs()));
+    });
+}
 
-    /// TopK returns exactly what a full sort would.
-    #[test]
-    fn topk_matches_sort(scores in prop::collection::vec(-1.0e3f32..1.0e3, 1..200), k in 1usize..20) {
+/// TopK returns exactly what a full sort would — including on tie-heavy
+/// score streams, where equal scores must order by ascending id.
+#[test]
+fn topk_matches_sort() {
+    forall("topk matches sort", 256, |rng| {
+        let n = rng.usize(1..200);
+        let k = rng.usize(1..20);
+        // Half the cases use a tie-heavy palette so the id tie-break is
+        // exercised, not just the score order.
+        let scores = if rng.bool() {
+            let levels = rng.usize(1..6);
+            rng.tie_heavy_scores(n, levels, -1.0e3..1.0e3)
+        } else {
+            rng.vec_f32(n, -1.0e3..1.0e3)
+        };
         let mut t = TopK::new(k);
         for (id, &s) in scores.iter().enumerate() {
             t.push(id as u64, s);
         }
         let got: Vec<u64> = t.into_sorted_vec().iter().map(|n| n.id).collect();
 
-        let mut all: Vec<(u64, f32)> = scores.iter().cloned().enumerate()
-            .map(|(i, s)| (i as u64, s)).collect();
+        let mut all: Vec<(u64, f32)> = scores
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, s)| (i as u64, s))
+            .collect();
         all.sort_by(|x, y| y.1.partial_cmp(&x.1).unwrap().then(x.0.cmp(&y.0)));
         let want: Vec<u64> = all.iter().take(k).map(|&(i, _)| i).collect();
-        prop_assert_eq!(got, want);
-    }
+        assert_eq!(got, want);
+    });
+}
 
-    /// Exact search's first hit for an L2 query that equals a database row
-    /// is that row.
-    #[test]
-    fn exact_search_finds_identical_vector(
-        rows in prop::collection::vec(prop::collection::vec(-50.0f32..50.0, 4), 2..40),
-        pick in any::<prop::sample::Index>(),
-    ) {
-        let n = rows.len();
-        let flat: Vec<f32> = rows.iter().flatten().cloned().collect();
+/// Merging per-partition TopKs gives the same result as pushing every
+/// candidate into one selector, for any partition of the candidates —
+/// the order-independence contract the parallel batch engine relies on.
+#[test]
+fn topk_merge_is_partition_invariant() {
+    forall("topk merge is partition invariant", 128, |rng| {
+        let n = rng.usize(1..300);
+        let k = rng.usize(1..24);
+        let parts = rng.usize(1..9);
+        let levels = rng.usize(1..8);
+        let scores = rng.tie_heavy_scores(n, levels, -50.0..50.0);
+
+        let mut reference = TopK::new(k);
+        for (id, &s) in scores.iter().enumerate() {
+            reference.push(id as u64, s);
+        }
+
+        // Deal candidates into random partitions, then merge in a random
+        // order.
+        let mut partials: Vec<TopK> = (0..parts).map(|_| TopK::new(k)).collect();
+        for (id, &s) in scores.iter().enumerate() {
+            partials[rng.usize(0..parts)].push(id as u64, s);
+        }
+        let mut merged = TopK::new(k);
+        while !partials.is_empty() {
+            let pick = rng.usize(0..partials.len());
+            merged.merge(&partials.swap_remove(pick));
+        }
+        assert_eq!(merged.into_sorted_vec(), reference.into_sorted_vec());
+    });
+}
+
+/// Exact search's first hit for an L2 query that equals a database row
+/// is that row.
+#[test]
+fn exact_search_finds_identical_vector() {
+    forall("exact search finds identical vector", 64, |rng| {
+        let n = rng.usize(2..40);
+        let flat = rng.vec_f32(n * 4, -50.0..50.0);
         let db = VectorSet::from_rows(4, &flat);
-        let target = pick.index(n);
+        let target = rng.usize(0..n);
         let q = VectorSet::from_rows(4, db.row(target));
         let hits = exact::search(&q, &db, Metric::L2, 1);
         // The winner must have similarity equal to the self-similarity (ties
         // on duplicate rows may pick a lower id).
         let best = hits[0][0];
-        prop_assert_eq!(best.score, 0.0);
-        prop_assert_eq!(db.row(best.id as usize), db.row(target));
-    }
+        assert_eq!(best.score, 0.0);
+        assert_eq!(db.row(best.id as usize), db.row(target));
+    });
 }

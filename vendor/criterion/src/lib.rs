@@ -1,0 +1,178 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The bench targets in this workspace exist so every paper figure has a
+//! timed entry point; statistical rigor is not the point (the real
+//! numbers come from `anna-bench`'s binaries). This shim keeps the bench
+//! sources unmodified against the real criterion API surface they use —
+//! `benchmark_group`, `sample_size`, `throughput`, `bench_function`,
+//! `iter` — but runs each closure a handful of times and prints the
+//! median wall time. It also exits quickly when invoked by `cargo test`,
+//! so bench targets never stall the test suite.
+
+use std::time::{Duration, Instant};
+
+/// Opaque black box preventing the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation (accepted and echoed, not analyzed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Mirror of `criterion::BenchmarkId` (display-only here).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Combines a function name and a parameter display.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self(format!("{}/{}", function.into(), parameter))
+    }
+
+    /// Id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// The timing context handed to bench closures.
+pub struct Bencher {
+    iters: u32,
+}
+
+impl Bencher {
+    /// Times `f`, running it `iters` times and recording the median.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let mut samples = Vec::with_capacity(self.iters as usize);
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            black_box(f());
+            samples.push(start.elapsed());
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        LAST_SAMPLE.with(|s| s.set(Some(median)));
+    }
+}
+
+thread_local! {
+    static LAST_SAMPLE: std::cell::Cell<Option<Duration>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// Top-level driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    iters: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Under `cargo test` the bench binary is invoked with `--test`:
+        // run everything exactly once so the suite stays fast.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self {
+            iters: if test_mode { 1 } else { 3 },
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            iters: self.iters,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Benches a single function outside a group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        f: F,
+    ) -> &mut Self {
+        run_one(name, self.iters, f);
+        self
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    iters: u32,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's sample count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; shortens nothing here.
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Records a throughput annotation (echoed in the report line).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benches one function in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.iters, f);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, iters: u32, mut f: F) {
+    let mut b = Bencher { iters };
+    f(&mut b);
+    let sample = LAST_SAMPLE.with(|s| s.take());
+    match sample {
+        Some(d) => eprintln!("bench {label}: {:.3} ms (median of {iters})", d.as_secs_f64() * 1e3),
+        None => eprintln!("bench {label}: no iter() call"),
+    }
+}
+
+/// Mirror of `criterion_group!`: defines a function running each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Mirror of `criterion_main!`: defines `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

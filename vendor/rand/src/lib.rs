@@ -1,0 +1,245 @@
+//! Offline stand-in for the subset of `rand` 0.8 the workspace uses:
+//! `StdRng::seed_from_u64`, `Rng::gen`, and `Rng::gen_range` over integer
+//! and float ranges.
+//!
+//! The generator is a PCG-XSH-RR-style 64→32 permuted LCG extended to 64
+//! output bits by drawing twice — small, fast, and statistically far
+//! better than the workloads here need. Streams are **not** bit-compatible
+//! with the real `StdRng` (ChaCha12); nothing in the workspace pins exact
+//! stream values, only seed-determinism, which this provides.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Mirror of `rand::SeedableRng`, reduced to the one constructor used.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed, deterministically.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Values `Rng::gen` can produce (mirror of sampling from the `Standard`
+/// distribution).
+pub trait StandardValue {
+    /// Builds a value from a uniform 64-bit draw.
+    fn from_bits(bits: u64) -> Self;
+}
+
+impl StandardValue for f64 {
+    fn from_bits(bits: u64) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardValue for f32 {
+    fn from_bits(bits: u64) -> f32 {
+        (bits >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl StandardValue for u64 {
+    fn from_bits(bits: u64) -> u64 {
+        bits
+    }
+}
+
+impl StandardValue for u32 {
+    fn from_bits(bits: u64) -> u32 {
+        (bits >> 32) as u32
+    }
+}
+
+impl StandardValue for bool {
+    fn from_bits(bits: u64) -> bool {
+        bits >> 63 == 1
+    }
+}
+
+/// Integer types `gen_range` can sample.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw in `[low, high)`; `high > low` is the caller's
+    /// responsibility (asserted by `gen_range`).
+    fn sample_half_open(rng: &mut dyn FnMut() -> u64, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(rng: &mut dyn FnMut() -> u64, low: Self, high: Self) -> Self {
+                let span = (high as u128).wrapping_sub(low as u128);
+                debug_assert!(span > 0);
+                // Multiply-shift bounded draw (Lemire); modulo bias is far
+                // below anything observable at these span sizes.
+                let draw = rng() as u128;
+                low.wrapping_add(((draw * span) >> 64) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(usize, u64, u32, u16, u8, isize, i64, i32);
+
+impl SampleUniform for f64 {
+    fn sample_half_open(rng: &mut dyn FnMut() -> u64, low: Self, high: Self) -> Self {
+        low + f64::from_bits_uniform(rng()) * (high - low)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_half_open(rng: &mut dyn FnMut() -> u64, low: Self, high: Self) -> Self {
+        low + (<f32 as StandardValue>::from_bits(rng())) * (high - low)
+    }
+}
+
+trait F64Uniform {
+    fn from_bits_uniform(bits: u64) -> f64;
+}
+
+impl F64Uniform for f64 {
+    fn from_bits_uniform(bits: u64) -> f64 {
+        <f64 as StandardValue>::from_bits(bits)
+    }
+}
+
+/// Range forms accepted by `gen_range` (mirror of `rand::distributions::
+/// uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws a value in the range.
+    fn sample(self, rng: &mut dyn FnMut() -> u64) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample(self, rng: &mut dyn FnMut() -> u64) -> T {
+        assert!(self.start < self.end, "gen_range on an empty range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+macro_rules! impl_sample_range_inclusive {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut dyn FnMut() -> u64) -> $t {
+                let (low, high) = self.into_inner();
+                assert!(low <= high, "gen_range on an empty range");
+                let span = (high as u128).wrapping_sub(low as u128) + 1;
+                let draw = rng() as u128;
+                low.wrapping_add(((draw * span) >> 64) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_inclusive!(usize, u64, u32, u16, u8, isize, i64, i32);
+
+/// Mirror of `rand::Rng`, reduced to `gen` and `gen_range`.
+pub trait Rng {
+    /// The next uniform 64-bit draw.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value of type `T` uniformly (the `Standard` distribution).
+    fn gen<T: StandardValue>(&mut self) -> T {
+        T::from_bits(self.next_u64())
+    }
+
+    /// Samples uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let mut draw = || self.next_u64();
+        range.sample(&mut draw)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Seedable generator standing in for `rand::rngs::StdRng`.
+    ///
+    /// Internally a 64-bit LCG with an xorshift output permutation,
+    /// seeded through SplitMix64 so that nearby seeds yield uncorrelated
+    /// streams.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+        inc: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 to spread the seed over both state words.
+            let mut x = seed.wrapping_add(0x9E3779B97F4A7C15);
+            let mut split = move || {
+                x = x.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            let state = split();
+            let inc = split() | 1; // stream increment must be odd
+            Self { state, inc }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // PCG-style step + xorshift-multiply output.
+            self.state = self
+                .state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(self.inc);
+            let mut z = self.state;
+            z = (z ^ (z >> 32)).wrapping_mul(0xD6E8FEB86659FD93);
+            z ^ (z >> 32)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: u64 = rng.gen_range(0..=5);
+            assert!(w <= 5);
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_the_support() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _: usize = rng.gen_range(5..5);
+    }
+}

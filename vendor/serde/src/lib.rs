@@ -1,0 +1,38 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no registry access, and the workspace uses
+//! serde purely as a *marker* ("this type is plain data, safe to
+//! persist"): every actual encoding is hand-rolled (`anna-index::io`'s
+//! binary format, `anna-bench`'s JSON emitter). This shim keeps the
+//! public-facing contract — `#[derive(Serialize, Deserialize)]` compiles
+//! and `T: serde::Serialize` bounds hold — without the 30-crate proc-macro
+//! dependency tree.
+//!
+//! The traits are deliberately methodless with blanket impls: swapping the
+//! real serde back in (when a registry is available) requires no source
+//! changes in the workspace.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`. Blanket-implemented: every
+/// type is "serializable" as far as trait bounds are concerned.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize<'de>`.
+/// Blanket-implemented for every sized type.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// Sub-module mirror of `serde::de` for code that names the owned-marker
+/// trait through its canonical path.
+pub mod de {
+    pub use super::DeserializeOwned;
+}

@@ -1,0 +1,25 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace builds in an air-gapped environment, so the real serde
+//! derive machinery (syn/quote/proc-macro2) is unavailable. The workspace
+//! only uses `#[derive(Serialize, Deserialize)]` as a *marker* — actual
+//! wire formats are hand-rolled (see `anna-bench`'s JSON emitter and
+//! `anna-index::io`'s binary format) — so the derives here expand to
+//! nothing and the marker traits in the sibling `serde` shim carry blanket
+//! impls.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive: accepts (and ignores) `#[serde(...)]`
+/// attributes for source compatibility with the real crate.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive: accepts (and ignores) `#[serde(...)]`
+/// attributes for source compatibility with the real crate.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
