@@ -8,6 +8,7 @@
 //! load. The model computes both bounds and takes the slower.
 
 use anna_index::{kernels, IvfPqIndex, Lut, LutPrecision, SearchParams};
+use anna_telemetry::Telemetry;
 use anna_vector::{Metric, TopK, VectorSet};
 use serde::{Deserialize, Serialize};
 
@@ -244,13 +245,34 @@ pub fn measure_batched_qps_with(
     params: &SearchParams,
     threads: usize,
 ) -> f64 {
+    measure_batched_qps_traced(index, queries, params, threads, &Telemetry::disabled())
+}
+
+/// [`measure_batched_qps_with`] with a telemetry sink.
+///
+/// The warm-up pass runs uninstrumented; the timed pass runs under a
+/// `cpu.batch` span, so the snapshot carries the baseline's stage
+/// timings, per-worker utilization and bridged `batch.*` traffic
+/// counters, and the measured throughput lands in the `cpu.qps` gauge.
+pub fn measure_batched_qps_traced(
+    index: &IvfPqIndex,
+    queries: &VectorSet,
+    params: &SearchParams,
+    threads: usize,
+    tel: &Telemetry,
+) -> f64 {
     let scan = anna_index::BatchedScan::new(index);
     let exec = anna_index::BatchExec::with_threads(threads);
     let _warm = scan.run_with(queries, params, &exec);
     let start = std::time::Instant::now();
-    let _ = scan.run_with(queries, params, &exec);
+    {
+        let _span = tel.span("cpu.batch");
+        let _ = scan.run_instrumented(queries, params, &exec, tel);
+    }
     let secs = start.elapsed().as_secs_f64().max(1e-9);
-    queries.len() as f64 / secs
+    let qps = queries.len() as f64 / secs;
+    tel.gauge_set("cpu.qps", qps as u64);
+    qps
 }
 
 /// Convenience: metric-appropriate power constant for a software family.
@@ -411,6 +433,41 @@ mod tests {
         for threads in [0usize, 1, 2, 4] {
             let qps = measure_batched_qps_with(&index, &queries, &params, threads);
             assert!(qps > 0.0, "threads={threads} gave qps={qps}");
+        }
+    }
+
+    #[test]
+    fn traced_measurement_fills_the_snapshot() {
+        use anna_index::{IvfPqConfig, IvfPqIndex};
+        let data = VectorSet::from_fn(8, 400, |r, c| ((r * 13 + c * 5) % 23) as f32);
+        let index = IvfPqIndex::build(
+            &data,
+            &IvfPqConfig {
+                num_clusters: 8,
+                m: 4,
+                kstar: 16,
+                ..IvfPqConfig::default()
+            },
+        );
+        let queries = data.gather(&(0..16).collect::<Vec<_>>());
+        let params = SearchParams {
+            nprobe: 3,
+            k: 5,
+            ..Default::default()
+        };
+        let tel = Telemetry::enabled();
+        let qps = measure_batched_qps_traced(&index, &queries, &params, 2, &tel);
+        assert!(qps > 0.0);
+        let snap = tel.snapshot_json().unwrap();
+        for key in [
+            "\"cpu.qps\"",
+            "\"batch.clusters_loaded\"",
+            "\"worker0.busy_ns\"",
+            "\"worker0.idle_ns\"",
+            "\"worker0.tiles\"",
+            "\"cpu.batch\"",
+        ] {
+            assert!(snap.contains(key), "missing {key} in {snap}");
         }
     }
 }

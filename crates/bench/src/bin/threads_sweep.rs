@@ -1,14 +1,45 @@
 //! Measures batched QPS of the parallel cluster-major engine at worker
 //! counts 1/2/4/8 and writes a JSON report. Every point is checked to
 //! return bit-identical neighbors to the serial schedule.
+//!
+//! With `--telemetry <path>`, the run records per-stage timings,
+//! per-worker utilization and the bridged software/accelerator counters,
+//! writing the metric snapshot to `<path>` and a chrome://tracing
+//! timeline to `<path>.trace.json` (open it in chrome://tracing or
+//! <https://ui.perfetto.dev>).
 
 use anna_bench::{threads_sweep, write_report};
+use anna_telemetry::Telemetry;
 
 fn main() {
+    let mut telemetry_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--telemetry" => match args.next() {
+                Some(p) => telemetry_path = Some(p),
+                None => {
+                    eprintln!("--telemetry requires a path argument");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: threads_sweep [--telemetry <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let tel = if telemetry_path.is_some() {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+
     // Sized so the scan dominates setup but the run stays under a minute.
     let (db_n, batch) = (200_000, 512);
     eprintln!("building index over {db_n} vectors, sweeping batch of {batch} queries");
-    let sweep = threads_sweep::run(db_n, batch, &[1, 2, 4, 8]);
+    let sweep = threads_sweep::run_traced(db_n, batch, &[1, 2, 4, 8], &tel);
     print!("{}", sweep.render());
     if let Some(s4) = sweep.speedup_at(4) {
         eprintln!("speedup at 4 workers: {s4:.2}x");
@@ -16,5 +47,19 @@ fn main() {
     match write_report("threads_sweep", &sweep.to_json()) {
         Ok(path) => eprintln!("report written to {}", path.display()),
         Err(e) => eprintln!("could not write report: {e}"),
+    }
+    if let Some(path) = telemetry_path {
+        let snapshot = tel.snapshot_json().expect("telemetry was enabled");
+        let trace = tel.chrome_trace_json().expect("telemetry was enabled");
+        if let Err(e) = std::fs::write(&path, snapshot) {
+            eprintln!("could not write telemetry snapshot to {path}: {e}");
+            std::process::exit(1);
+        }
+        let trace_path = format!("{path}.trace.json");
+        if let Err(e) = std::fs::write(&trace_path, trace) {
+            eprintln!("could not write chrome trace to {trace_path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("telemetry snapshot written to {path}, timeline to {trace_path}");
     }
 }

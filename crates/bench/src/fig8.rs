@@ -145,7 +145,11 @@ mod tests {
         );
         // ANNA x12 must beat the V100 everywhere (the paper's fair-
         // bandwidth comparison).
-        let gpu = plot.series.iter().find(|s| s.name == "Faiss256 (GPU)").unwrap();
+        let gpu = plot
+            .series
+            .iter()
+            .find(|s| s.name == "Faiss256 (GPU)")
+            .unwrap();
         let x12 = plot
             .series
             .iter()

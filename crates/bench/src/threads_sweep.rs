@@ -6,8 +6,11 @@
 //! software analogue of scaling ANNA's SCM count while the crossbar
 //! assignment (and therefore the answer) stays fixed.
 
-use anna_baseline::cpu::measure_batched_qps_with;
+use anna_baseline::cpu::measure_batched_qps_traced;
+use anna_core::batch::ScmAllocation;
+use anna_core::{Anna, AnnaConfig};
 use anna_index::{BatchExec, BatchedScan, IvfPqConfig, IvfPqIndex, SearchParams};
+use anna_telemetry::Telemetry;
 use anna_vector::{Metric, VectorSet};
 use serde::{Deserialize, Serialize};
 
@@ -50,6 +53,24 @@ fn dataset(dim: usize, n: usize, blobs: usize) -> VectorSet {
 /// `db_n` vectors, batch of `batch` queries drawn from the database; each
 /// point re-checks the returned neighbors against the serial reference.
 pub fn run(db_n: usize, batch: usize, thread_counts: &[usize]) -> ThreadsSweep {
+    run_traced(db_n, batch, thread_counts, &Telemetry::disabled())
+}
+
+/// [`run`] with a telemetry sink.
+///
+/// Each thread count records under a `threads<t>.` prefix on its own
+/// chrome-trace process lane (so the per-worker timelines of every point
+/// stay separable), and the timed pass bridges the engine's stage spans
+/// and `batch.*` traffic counters into the snapshot. After the sweep, the
+/// same batch runs once through the functional accelerator under the
+/// `accel.` prefix, bridging the CPM/EFM/SCM module counters and P-heap
+/// spill/fill statistics into the same snapshot.
+pub fn run_traced(
+    db_n: usize,
+    batch: usize,
+    thread_counts: &[usize],
+    tel: &Telemetry,
+) -> ThreadsSweep {
     let dim = 16;
     let data = dataset(dim, db_n, 32);
     let index = IvfPqIndex::build(
@@ -76,7 +97,10 @@ pub fn run(db_n: usize, batch: usize, thread_counts: &[usize]) -> ThreadsSweep {
     let mut points = Vec::new();
     let mut serial_qps = 0.0f64;
     for &threads in thread_counts {
-        let qps = measure_batched_qps_with(&index, &queries, &params, threads);
+        let point_tel = tel
+            .scoped(&format!("threads{threads}"))
+            .with_process(threads as u64);
+        let qps = measure_batched_qps_traced(&index, &queries, &params, threads, &point_tel);
         if threads == 1 {
             serial_qps = qps;
         }
@@ -94,6 +118,23 @@ pub fn run(db_n: usize, batch: usize, thread_counts: &[usize]) -> ThreadsSweep {
     for p in &mut points {
         p.speedup = p.qps / serial_qps;
     }
+
+    // One functional-accelerator pass over a slice of the same batch, so
+    // the snapshot also carries the hardware-module counters (the sweep
+    // itself only exercises the software engine).
+    if tel.is_enabled() {
+        let accel_tel = tel.scoped("accel");
+        let anna = Anna::new(AnnaConfig::paper(), &index).expect("paper config fits the index");
+        let sub = queries.gather(&(0..batch.min(64)).collect::<Vec<_>>());
+        let _ = anna.search_batch_traced(
+            &sub,
+            params.nprobe,
+            params.k,
+            ScmAllocation::Auto,
+            &accel_tel,
+        );
+    }
+
     ThreadsSweep {
         batch,
         db_n,
@@ -165,5 +206,39 @@ mod tests {
             );
         }
         assert_eq!(sweep.speedup_at(1), Some(1.0));
+    }
+
+    #[test]
+    fn traced_sweep_snapshot_carries_stages_workers_and_accel_counters() {
+        let tel = Telemetry::enabled();
+        let sweep = run_traced(4_000, 48, &[1, 2], &tel);
+        for p in &sweep.points {
+            assert!(p.identical_to_serial, "threads={} diverged", p.threads);
+        }
+        let snap = tel.snapshot_json().unwrap();
+        for key in [
+            // Per-stage timings, per thread count.
+            "\"threads1.batch.plan\"",
+            "\"threads2.batch.plan\"",
+            "\"threads1.batch.merge\"",
+            // Per-worker utilization of the 2-thread point.
+            "\"threads2.worker0.busy_ns\"",
+            "\"threads2.worker1.idle_ns\"",
+            "\"threads2.worker0.tiles\"",
+            // Bridged software-engine traffic counters.
+            "\"threads1.batch.clusters_loaded\"",
+            // Bridged accelerator module + P-heap counters.
+            "\"accel.cpm.cycles\"",
+            "\"accel.efm.code_bytes\"",
+            "\"accel.scm.vectors_scored\"",
+            "\"accel.pheap.spills\"",
+            "\"accel.pheap.fills\"",
+        ] {
+            assert!(snap.contains(key), "missing {key} in snapshot");
+        }
+        // The timeline has per-tile spans on separate process lanes.
+        let trace = tel.chrome_trace_json().unwrap();
+        assert!(trace.contains("batch.tile_scan"), "no tile spans in trace");
+        assert!(trace.contains("\"pid\":1") && trace.contains("\"pid\":2"));
     }
 }

@@ -11,6 +11,7 @@
 //! report.
 
 use anna_index::{IvfPqIndex, Lut};
+use anna_telemetry::Telemetry;
 use anna_vector::{f16, metric, Metric, Neighbor, VectorSet};
 
 use crate::batch::{self, ScmAllocation};
@@ -18,7 +19,7 @@ use crate::config::{AnnaConfig, ValidateConfigError};
 use crate::engine::analytic;
 use crate::modules::crossbar::{Crossbar, Routing};
 use crate::modules::{Cpm, Efm, Scm};
-use crate::pheap::PHeap;
+use crate::pheap::{PHeap, PHeapStats};
 use crate::timing::{BatchWorkload, QueryWorkload, SearchShape, TimingReport};
 
 /// ANNA bound to a database index.
@@ -211,12 +212,43 @@ impl<'a> Anna<'a> {
         k: usize,
         alloc: ScmAllocation,
     ) -> (Vec<Vec<Neighbor>>, TimingReport) {
+        self.search_batch_traced(queries, w, k, alloc, &Telemetry::disabled())
+    }
+
+    /// [`Anna::search_batch`] with a telemetry sink.
+    ///
+    /// When `tel` is enabled, the schedule stages are timed as spans
+    /// (`accel.plan`, `accel.rounds` with one `accel.round` trace event
+    /// per scheduled round, `accel.merge`) and the hardware module
+    /// counters are bridged into the snapshot: `cpm.*` / `efm.*` /
+    /// `scm.*` activity plus the [`PHeapStats`] of every top-k unit the
+    /// batch touched, accumulated commutatively across rounds and the
+    /// final merge into `pheap.*` counters. Results are bit-identical to
+    /// the uninstrumented run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions mismatch or `k == 0`.
+    pub fn search_batch_traced(
+        &self,
+        queries: &VectorSet,
+        w: usize,
+        k: usize,
+        alloc: ScmAllocation,
+        tel: &Telemetry,
+    ) -> (Vec<Vec<Neighbor>>, TimingReport) {
         assert!(k > 0, "k must be positive");
         assert_eq!(queries.dim(), self.index.dim(), "query dimension mismatch");
-        let workload = self.plan_batch(queries, w, k);
+        let workload = {
+            let _span = tel.span("accel.plan");
+            self.plan_batch(queries, w, k)
+        };
         let schedule = batch::plan(&self.cfg, &workload, alloc);
         let g = schedule.scm_per_query;
         let record = self.cfg.topk_record_bytes;
+        let timed = tel.is_enabled();
+        let mut pheap_total = PHeapStats::default();
+        let (mut scm_cycles, mut scm_vectors, mut scm_lut_reads) = (0.0f64, 0u64, 0u64);
 
         let mut cpm = Cpm::new(self.cfg.n_cu);
         let mut efm = Efm::new(self.cfg.encoded_buffer_bytes);
@@ -237,35 +269,56 @@ impl<'a> Anna<'a> {
         let b = queries.len();
         let mut spilled: Vec<Vec<Vec<Neighbor>>> = vec![Vec::new(); b];
 
-        for round in &schedule.rounds {
-            for &qi in &round.queries {
-                let q = queries.row(qi);
-                let lut = self.cpm_lut(
-                    &mut cpm,
-                    ip_bases.as_ref().map(|v| &v[qi]),
-                    q,
-                    round.cluster,
-                );
-                // Fill partial units from memory (or start empty).
-                let mut scms: Vec<Scm> = if spilled[qi].is_empty() {
-                    (0..g).map(|_| Scm::new(self.cfg.n_u, k)).collect()
-                } else {
-                    spilled[qi]
-                        .drain(..)
-                        .map(|records| {
-                            let mut scm = Scm::new(self.cfg.n_u, k);
-                            scm.fill(&records, record);
-                            scm
-                        })
-                        .collect()
-                };
-                self.scan_cluster(&mut efm, &mut scms, round.cluster, &lut);
-                // Spill back to memory for the query's next round.
-                spilled[qi] = scms.iter_mut().map(|s| s.spill(record)).collect();
+        {
+            let _span = tel.span("accel.rounds");
+            for round in &schedule.rounds {
+                let start = if timed { tel.now_ns() } else { 0 };
+                for &qi in &round.queries {
+                    let q = queries.row(qi);
+                    let lut = self.cpm_lut(
+                        &mut cpm,
+                        ip_bases.as_ref().map(|v| &v[qi]),
+                        q,
+                        round.cluster,
+                    );
+                    // Fill partial units from memory (or start empty).
+                    let mut scms: Vec<Scm> = if spilled[qi].is_empty() {
+                        (0..g).map(|_| Scm::new(self.cfg.n_u, k)).collect()
+                    } else {
+                        spilled[qi]
+                            .drain(..)
+                            .map(|records| {
+                                let mut scm = Scm::new(self.cfg.n_u, k);
+                                scm.fill(&records, record);
+                                scm
+                            })
+                            .collect()
+                    };
+                    self.scan_cluster(&mut efm, &mut scms, round.cluster, &lut);
+                    // Spill back to memory for the query's next round.
+                    spilled[qi] = scms.iter_mut().map(|s| s.spill(record)).collect();
+                    if timed {
+                        // The SCM instances are per-round throwaways; fold
+                        // their counters before they drop (commutative, so
+                        // the totals are schedule-invariant).
+                        for scm in &mut scms {
+                            let s = scm.stats();
+                            scm_cycles += s.cycles;
+                            scm_vectors += s.vectors_scored;
+                            scm_lut_reads += s.lut_reads;
+                            pheap_total.accumulate(&scm.topk_mut().stats());
+                        }
+                    }
+                }
+                if timed {
+                    let dur = tel.now_ns().saturating_sub(start);
+                    tel.trace_event_ns("accel.round", round.cluster as u64, start, dur);
+                }
             }
         }
 
         // Final merge per query.
+        let _span = tel.span("accel.merge");
         let results: Vec<Vec<Neighbor>> = spilled
             .into_iter()
             .map(|parts| {
@@ -273,11 +326,40 @@ impl<'a> Anna<'a> {
                 for records in parts {
                     let mut h = PHeap::new(k);
                     h.fill(&records, record);
+                    if timed {
+                        pheap_total.accumulate(&h.stats());
+                    }
                     merged.merge_from(&mut h);
+                }
+                if timed {
+                    pheap_total.accumulate(&merged.stats());
                 }
                 merged.drain_sorted()
             })
             .collect();
+        drop(_span);
+
+        if timed {
+            let cpm_stats = cpm.stats();
+            tel.counter_add("cpm.cycles", cpm_stats.cycles as u64);
+            tel.counter_add("cpm.madds", cpm_stats.madds);
+            tel.counter_add("cpm.luts_built", cpm_stats.luts_built);
+            let efm_stats = efm.stats();
+            tel.counter_add("efm.clusters_fetched", efm_stats.clusters_fetched);
+            tel.counter_add("efm.code_bytes", efm_stats.code_bytes);
+            tel.counter_add("efm.meta_bytes", efm_stats.meta_bytes);
+            tel.counter_add("efm.identifiers_unpacked", efm_stats.identifiers_unpacked);
+            tel.counter_add("efm.segments", efm_stats.segments);
+            tel.counter_add("scm.cycles", scm_cycles as u64);
+            tel.counter_add("scm.vectors_scored", scm_vectors);
+            tel.counter_add("scm.lut_reads", scm_lut_reads);
+            tel.counter_add("pheap.inputs", pheap_total.inputs);
+            tel.counter_add("pheap.accepted", pheap_total.accepted);
+            tel.counter_add("pheap.spills", pheap_total.spills);
+            tel.counter_add("pheap.spill_bytes", pheap_total.spill_bytes);
+            tel.counter_add("pheap.fills", pheap_total.fills);
+            tel.counter_add("pheap.fill_bytes", pheap_total.fill_bytes);
+        }
 
         let timing = analytic::batch(&self.cfg, &workload, alloc);
         (results, timing)
@@ -309,11 +391,7 @@ impl ScaleOutReport {
         if self.per_instance.is_empty() {
             return 1.0;
         }
-        let mean = self
-            .per_instance
-            .iter()
-            .map(|r| r.cycles)
-            .sum::<f64>()
+        let mean = self.per_instance.iter().map(|r| r.cycles).sum::<f64>()
             / self.per_instance.len() as f64;
         let max = self
             .per_instance
@@ -474,6 +552,38 @@ mod tests {
         assert_eq!(res.len(), 2);
         assert_eq!(res[0].len(), 5);
         assert!(timing.cycles > 0.0);
+    }
+
+    #[test]
+    fn traced_batch_bridges_module_counters_without_changing_results() {
+        let (data, index) = setup(Metric::L2);
+        let anna = Anna::new(AnnaConfig::paper(), &index).unwrap();
+        let queries = data.gather(&(0..24).collect::<Vec<_>>());
+        let alloc = ScmAllocation::IntraQuery { scm_per_query: 4 };
+        let tel = Telemetry::enabled();
+        let (traced, _) = anna.search_batch_traced(&queries, 3, 6, alloc, &tel);
+        let (plain, _) = anna.search_batch(&queries, 3, 6, alloc);
+        assert_eq!(traced, plain, "telemetry must not perturb results");
+        let snap = tel.snapshot_json().unwrap();
+        for key in [
+            "\"cpm.cycles\"",
+            "\"cpm.luts_built\"",
+            "\"efm.code_bytes\"",
+            "\"efm.clusters_fetched\"",
+            "\"scm.vectors_scored\"",
+            "\"pheap.inputs\"",
+            "\"pheap.spills\"",
+            "\"pheap.fills\"",
+        ] {
+            assert!(snap.contains(key), "missing {key} in {snap}");
+        }
+        // The batch visits clusters, so the bridged activity is non-zero.
+        assert!(!snap.contains("\"pheap.inputs\":0,"), "{snap}");
+        // Stage spans made it onto the timeline.
+        let trace = tel.chrome_trace_json().unwrap();
+        for name in ["accel.plan", "accel.rounds", "accel.round", "accel.merge"] {
+            assert!(trace.contains(name), "missing {name} span");
+        }
     }
 
     #[test]

@@ -237,7 +237,11 @@ mod tests {
         let sum: f64 = breakdown.iter().map(|(_, w)| w).sum();
         assert!((sum - m.average_power_w(&cfg, &r)).abs() < 1e-9);
         // SCMs dominate at high scan utilization, as in Table I.
-        let scm = breakdown.iter().find(|(n, _)| n.contains("Similarity")).unwrap().1;
+        let scm = breakdown
+            .iter()
+            .find(|(n, _)| n.contains("Similarity"))
+            .unwrap()
+            .1;
         assert!(breakdown.iter().all(|(_, w)| *w <= scm + 1e-12));
     }
 

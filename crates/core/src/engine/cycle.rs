@@ -139,6 +139,7 @@ pub fn single_query(cfg: &AnnaConfig, w: &QueryWorkload, g: usize) -> TimingRepo
         cluster_meta_bytes: CLUSTER_META_BYTES * n as u64,
         code_bytes,
         topk_spill_bytes: 0,
+        topk_fill_bytes: 0,
         query_list_bytes: 0,
         result_bytes,
     };
@@ -264,6 +265,7 @@ pub fn batch_traced(
     let mut data_ready = vec![0.0f64; n]; // per round: cluster data usable
     let mut fetch_end_of = vec![0.0f64; n];
     let mut spill_bytes = 0u64;
+    let mut fill_bytes = 0u64;
     let mut code_bytes = 0u64;
     let mut meta_bytes = 0u64;
     let mut topk_inputs = 0.0f64;
@@ -322,7 +324,7 @@ pub fn batch_traced(
             // soon as the previous scan *begins*.
             let (_, fe) = mem.transfer(prev_scan_start, fill_bytes_total);
             fill_end = fe;
-            spill_bytes += fill_bytes_total;
+            fill_bytes += fill_bytes_total;
         }
 
         // LUT fills for this round (double buffer: waits for scan ri−2).
@@ -395,6 +397,7 @@ pub fn batch_traced(
         cluster_meta_bytes: meta_bytes,
         code_bytes,
         topk_spill_bytes: spill_bytes,
+        topk_fill_bytes: fill_bytes,
         query_list_bytes: 2 * total_visits * QUERY_ID_BYTES,
         result_bytes,
     };
@@ -484,6 +487,7 @@ mod tests {
         );
         assert_eq!(c.traffic.code_bytes, a.traffic.code_bytes);
         assert_eq!(c.traffic.topk_spill_bytes, a.traffic.topk_spill_bytes);
+        assert_eq!(c.traffic.topk_fill_bytes, a.traffic.topk_fill_bytes);
     }
 
     #[test]

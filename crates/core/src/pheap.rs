@@ -12,16 +12,39 @@ use anna_vector::{f16, Neighbor};
 use serde::{Deserialize, Serialize};
 
 /// Activity counters of a P-heap unit, consumed by the energy model.
+///
+/// Spills (writes to main memory) and fills (reads back) are counted
+/// separately so the traffic/energy model can price reads and writes
+/// independently, as Table I does. Every field is a plain sum, so
+/// [`PHeapStats::accumulate`] is commutative and associative — partial
+/// stats can be combined in any order (the same partition-invariance
+/// contract `BatchStats` keeps).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct PHeapStats {
     /// Inputs offered (one per cycle).
     pub inputs: u64,
     /// Inputs that displaced an entry (heap write + sift).
     pub accepted: u64,
-    /// Spill/fill events (buffer swaps to/from main memory).
+    /// Spill events (buffer flushes to main memory).
     pub spills: u64,
-    /// Bytes moved by spills and fills.
+    /// Bytes written by spills.
     pub spill_bytes: u64,
+    /// Fill events (buffer restores from main memory).
+    pub fills: u64,
+    /// Bytes read by fills.
+    pub fill_bytes: u64,
+}
+
+impl PHeapStats {
+    /// Adds another unit's counters into this one (field-wise sum).
+    pub fn accumulate(&mut self, other: &PHeapStats) {
+        self.inputs += other.inputs;
+        self.accepted += other.accepted;
+        self.spills += other.spills;
+        self.spill_bytes += other.spill_bytes;
+        self.fills += other.fills;
+        self.fill_bytes += other.fill_bytes;
+    }
 }
 
 /// A fixed-capacity hardware priority queue tracking the `k` best scores.
@@ -158,8 +181,8 @@ impl PHeap {
     pub fn fill(&mut self, records: &[Neighbor], record_bytes: usize) {
         assert!(records.len() <= self.k, "fill exceeds capacity");
         assert!(self.heap.is_empty(), "fill into a non-empty unit");
-        self.stats.spills += 1;
-        self.stats.spill_bytes += (records.len() * record_bytes) as u64;
+        self.stats.fills += 1;
+        self.stats.fill_bytes += (records.len() * record_bytes) as u64;
         self.heap.extend_from_slice(records);
         // Rebuild heap order.
         for i in (0..self.heap.len() / 2).rev() {
@@ -226,10 +249,18 @@ mod tests {
         }
         let records = h.spill(5);
         assert!(h.is_empty());
+        assert_eq!(h.stats().spills, 1);
         assert_eq!(h.stats().spill_bytes, 20);
+        assert_eq!(h.stats().fills, 0, "a spill is not a fill");
         let mut h2 = PHeap::new(4);
         h2.fill(&records, 5);
         assert_eq!(h2.len(), 4);
+        // The restore is accounted as a fill (memory read), not a spill
+        // (memory write) — the two directions price differently in Table I.
+        assert_eq!(h2.stats().fills, 1);
+        assert_eq!(h2.stats().fill_bytes, 20);
+        assert_eq!(h2.stats().spills, 0);
+        assert_eq!(h2.stats().spill_bytes, 0);
         // Post-fill behavior must be identical to never having spilled.
         h2.offer(9, 1.5);
         let ids: Vec<u64> = h2.drain_sorted().iter().map(|n| n.id).collect();
@@ -282,5 +313,32 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_k_rejected() {
         let _ = PHeap::new(0);
+    }
+
+    #[test]
+    fn stats_accumulate_is_commutative() {
+        let a = PHeapStats {
+            inputs: 1,
+            accepted: 2,
+            spills: 3,
+            spill_bytes: 4,
+            fills: 5,
+            fill_bytes: 6,
+        };
+        let b = PHeapStats {
+            inputs: 10,
+            accepted: 20,
+            spills: 30,
+            spill_bytes: 40,
+            fills: 50,
+            fill_bytes: 60,
+        };
+        let mut ab = a;
+        ab.accumulate(&b);
+        let mut ba = b;
+        ba.accumulate(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.inputs, 11);
+        assert_eq!(ab.fill_bytes, 66);
     }
 }

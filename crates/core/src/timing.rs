@@ -149,8 +149,12 @@ pub struct TrafficReport {
     pub cluster_meta_bytes: u64,
     /// Encoded-vector fetches (the dominant term).
     pub code_bytes: u64,
-    /// Intermediate top-k spill/fill records (batched mode).
+    /// Intermediate top-k spill records written to memory (batched mode).
     pub topk_spill_bytes: u64,
+    /// Intermediate top-k fill records read back from memory (batched
+    /// mode). Separated from spills so reads and writes price
+    /// independently, as Table I does.
+    pub topk_fill_bytes: u64,
     /// Query-id list writes/reads for the traffic optimization
     /// (Section IV-A).
     pub query_list_bytes: u64,
@@ -165,6 +169,7 @@ impl TrafficReport {
             + self.cluster_meta_bytes
             + self.code_bytes
             + self.topk_spill_bytes
+            + self.topk_fill_bytes
             + self.query_list_bytes
             + self.result_bytes
     }
@@ -300,10 +305,11 @@ mod tests {
             cluster_meta_bytes: 2,
             code_bytes: 3,
             topk_spill_bytes: 4,
+            topk_fill_bytes: 7,
             query_list_bytes: 5,
             result_bytes: 6,
         };
-        assert_eq!(t.total(), 21);
+        assert_eq!(t.total(), 28);
     }
 
     #[test]

@@ -76,10 +76,15 @@ fn pheap_spill_fill_is_transparent() {
 fn analytic_single_query_sane() {
     forall("analytic single query sane", 48, |rng| {
         let shape = arb_shape(rng);
-        let sizes: Vec<usize> = (0..rng.usize(1..32)).map(|_| rng.usize(1..50_000)).collect();
+        let sizes: Vec<usize> = (0..rng.usize(1..32))
+            .map(|_| rng.usize(1..50_000))
+            .collect();
         let g = *rng.pick(&[1usize, 2, 4, 8, 16]);
         let cfg = AnnaConfig::paper();
-        let w = QueryWorkload { shape, visited_cluster_sizes: sizes.clone() };
+        let w = QueryWorkload {
+            shape,
+            visited_cluster_sizes: sizes.clone(),
+        };
         let r = analytic::single_query(&cfg, &w, g);
         assert!(r.cycles > 0.0);
         assert!(r.cycles + 1e-6 >= r.traffic.total() as f64 / cfg.bytes_per_cycle());
@@ -109,7 +114,11 @@ fn schedule_is_a_partition() {
             shape,
             cluster_sizes: (0..c).map(|i| 10 + i * 3).collect(),
             visits: (0..b)
-                .map(|q| (0..w.min(c)).map(|i| (q * 7 + i * 3) % c).collect::<Vec<_>>())
+                .map(|q| {
+                    (0..w.min(c))
+                        .map(|i| (q * 7 + i * 3) % c)
+                        .collect::<Vec<_>>()
+                })
                 .map(|mut v: Vec<usize>| {
                     v.sort_unstable();
                     v.dedup();
@@ -117,7 +126,11 @@ fn schedule_is_a_partition() {
                 })
                 .collect(),
         };
-        let schedule = batch::plan(&cfg, &workload, ScmAllocation::IntraQuery { scm_per_query: g });
+        let schedule = batch::plan(
+            &cfg,
+            &workload,
+            ScmAllocation::IntraQuery { scm_per_query: g },
+        );
         let mut count = vec![0usize; b];
         for round in &schedule.rounds {
             assert!(round.queries.len() <= schedule.queries_per_round);
@@ -155,13 +168,21 @@ fn engines_agree_on_random_batches() {
                 v
             })
             .collect();
-        let workload = BatchWorkload { shape, cluster_sizes, visits };
+        let workload = BatchWorkload {
+            shape,
+            cluster_sizes,
+            visits,
+        };
         let a = analytic::batch(&cfg, &workload, ScmAllocation::Auto);
         let cy = cycle::batch(&cfg, &workload, ScmAllocation::Auto);
         assert_eq!(a.traffic.code_bytes, cy.traffic.code_bytes);
         assert_eq!(a.traffic.topk_spill_bytes, cy.traffic.topk_spill_bytes);
+        assert_eq!(a.traffic.topk_fill_bytes, cy.traffic.topk_fill_bytes);
         let ratio = cy.cycles / a.cycles;
-        assert!((0.6..1.6).contains(&ratio), "engines diverge: ratio {ratio}");
+        assert!(
+            (0.6..1.6).contains(&ratio),
+            "engines diverge: ratio {ratio}"
+        );
     });
 }
 
@@ -174,10 +195,15 @@ fn engines_agree_on_random_batches() {
 fn stepped_engine_tracks_analytic() {
     forall("stepped engine tracks analytic", 48, |rng| {
         let shape = arb_shape(rng);
-        let sizes: Vec<usize> = (0..rng.usize(3..10)).map(|_| rng.usize(500..30_000)).collect();
+        let sizes: Vec<usize> = (0..rng.usize(3..10))
+            .map(|_| rng.usize(500..30_000))
+            .collect();
         let g = *rng.pick(&[1usize, 4, 16]);
         let cfg = AnnaConfig::paper();
-        let w = QueryWorkload { shape, visited_cluster_sizes: sizes };
+        let w = QueryWorkload {
+            shape,
+            visited_cluster_sizes: sizes,
+        };
         let a = analytic::single_query(&cfg, &w, g);
         let st = stepped::single_query(&cfg, &w, g);
         let ratio = st.cycles as f64 / a.cycles;
@@ -217,7 +243,10 @@ fn memory_layouts_never_overlap() {
         }
         for i in 0..regions.len() {
             for j in i + 1..regions.len() {
-                assert!(!regions[i].overlaps(&regions[j]), "regions {i} and {j} overlap");
+                assert!(
+                    !regions[i].overlaps(&regions[j]),
+                    "regions {i} and {j} overlap"
+                );
             }
         }
         // Every cluster's codes sit inside the code region.
@@ -233,10 +262,21 @@ fn memory_layouts_never_overlap() {
 fn bandwidth_monotonicity() {
     forall("bandwidth monotonicity", 48, |rng| {
         let shape = arb_shape(rng);
-        let sizes: Vec<usize> = (0..rng.usize(1..16)).map(|_| rng.usize(100..20_000)).collect();
-        let slow = AnnaConfig { mem_bandwidth_gbps: 16.0, ..AnnaConfig::paper() };
-        let fast = AnnaConfig { mem_bandwidth_gbps: 256.0, ..AnnaConfig::paper() };
-        let w = QueryWorkload { shape, visited_cluster_sizes: sizes };
+        let sizes: Vec<usize> = (0..rng.usize(1..16))
+            .map(|_| rng.usize(100..20_000))
+            .collect();
+        let slow = AnnaConfig {
+            mem_bandwidth_gbps: 16.0,
+            ..AnnaConfig::paper()
+        };
+        let fast = AnnaConfig {
+            mem_bandwidth_gbps: 256.0,
+            ..AnnaConfig::paper()
+        };
+        let w = QueryWorkload {
+            shape,
+            visited_cluster_sizes: sizes,
+        };
         let rs = analytic::single_query(&slow, &w, 16);
         let rf = analytic::single_query(&fast, &w, 16);
         assert!(rf.cycles <= rs.cycles + 1e-6);

@@ -16,6 +16,7 @@ use crate::ivf::IvfPqIndex;
 use crate::lut::Lut;
 use crate::parallel::{self, BatchExec};
 use crate::SearchParams;
+use anna_telemetry::Telemetry;
 use anna_vector::{Metric, Neighbor, TopK, VectorSet};
 use serde::{Deserialize, Serialize};
 
@@ -145,18 +146,49 @@ impl<'a> BatchedScan<'a> {
         params: &SearchParams,
         exec: &BatchExec,
     ) -> (Vec<Vec<Neighbor>>, BatchStats) {
-        assert_eq!(queries.dim(), self.index.dim(), "query dimension mismatch");
-        let visiting = self.plan(queries, params.nprobe);
+        self.run_instrumented(queries, params, exec, &Telemetry::disabled())
+    }
 
-        // Shared inner-product base tables (cluster-invariant) per query.
-        let ip_base: Option<Vec<Lut>> = match self.index.metric() {
-            Metric::InnerProduct => Some(
-                queries
-                    .iter()
-                    .map(|q| Lut::build_ip(q, self.index.codebook(), params.lut_precision))
-                    .collect(),
-            ),
-            Metric::L2 => None,
+    /// [`BatchedScan::run_with`] with a telemetry sink.
+    ///
+    /// When `tel` is enabled, each pipeline stage is timed as a span —
+    /// `batch.plan` (cluster filtering + inversion), `batch.lut_build`
+    /// (shared inner-product base tables), per-tile `batch.tile_scan`
+    /// windows on a per-worker timeline, and `batch.merge` (folding the
+    /// per-worker accumulators) — and the aggregate [`BatchStats`] are
+    /// bridged into the snapshot as `batch.*` counters. Telemetry only
+    /// reads clocks and bumps atomics, so results and stats are
+    /// bit-identical to the uninstrumented run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries.dim() != index.dim()`.
+    pub fn run_instrumented(
+        &self,
+        queries: &VectorSet,
+        params: &SearchParams,
+        exec: &BatchExec,
+        tel: &Telemetry,
+    ) -> (Vec<Vec<Neighbor>>, BatchStats) {
+        assert_eq!(queries.dim(), self.index.dim(), "query dimension mismatch");
+        let visiting = {
+            let _span = tel.span("batch.plan");
+            self.plan(queries, params.nprobe)
+        };
+
+        // Shared inner-product base tables (cluster-invariant) per query;
+        // L2 tables are cluster-specific and built inside the tile scans.
+        let ip_base: Option<Vec<Lut>> = {
+            let _span = tel.span("batch.lut_build");
+            match self.index.metric() {
+                Metric::InnerProduct => Some(
+                    queries
+                        .iter()
+                        .map(|q| Lut::build_ip(q, self.index.codebook(), params.lut_precision))
+                        .collect(),
+                ),
+                Metric::L2 => None,
+            }
         };
 
         let tiles = parallel::crossbar_tiles(&visiting, exec.queries_per_group);
@@ -167,6 +199,15 @@ impl<'a> BatchedScan<'a> {
             ip_base.as_deref(),
             &tiles,
             exec.resolved_threads(),
+            tel,
+        );
+        tel.counter_add("batch.queries", queries.len() as u64);
+        tel.counter_add("batch.clusters_loaded", stats.clusters_loaded);
+        tel.counter_add("batch.code_bytes_loaded", stats.code_bytes_loaded);
+        tel.counter_add("batch.query_cluster_visits", stats.query_cluster_visits);
+        tel.counter_add(
+            "batch.conventional_code_bytes",
+            stats.conventional_code_bytes,
         );
         (
             merged.into_iter().map(TopK::into_sorted_vec).collect(),
@@ -375,7 +416,10 @@ mod tests {
         let scan = BatchedScan::new(&index);
         let (reference, ref_stats) = scan.run_serial(&queries, &params);
         for group in [1usize, 2, 5] {
-            let exec = BatchExec { threads: 4, queries_per_group: group };
+            let exec = BatchExec {
+                threads: 4,
+                queries_per_group: group,
+            };
             let (got, stats) = scan.run_with(&queries, &params, &exec);
             assert_eq!(got, reference, "group bound {group} diverged");
             assert_eq!(stats, ref_stats, "group bound {group} stats diverged");

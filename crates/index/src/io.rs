@@ -123,7 +123,8 @@ pub fn write_index<W: Write>(mut w: W, index: &IvfPqIndex) -> io::Result<()> {
 /// # Errors
 ///
 /// Returns an error on I/O failure, a bad magic/version, an unsupported
-/// metric or `k*`, or internally inconsistent sizes.
+/// metric or `k*`, internally inconsistent sizes, or a vector id that
+/// appears in more than one inverted list.
 pub fn read_index<R: Read>(mut r: R) -> io::Result<IvfPqIndex> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
@@ -159,6 +160,7 @@ pub fn read_index<R: Read>(mut r: R) -> io::Result<IvfPqIndex> {
     let codebook = PqCodebook::from_books(books);
 
     let mut clusters = Vec::with_capacity(c.min(READ_CHUNK));
+    let mut seen_ids = std::collections::HashSet::new();
     for _ in 0..c {
         let len = read_u64(&mut r)? as usize;
         let id_bytes = read_bytes_chunked(
@@ -170,6 +172,17 @@ pub fn read_index<R: Read>(mut r: R) -> io::Result<IvfPqIndex> {
             .chunks_exact(8)
             .map(|b| u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
             .collect();
+        // The inverted lists must partition the id space: `TopK::merge`'s
+        // order-independence — and with it the parallel engine's
+        // bit-identical guarantee — assumes every candidate id is pushed at
+        // most once across all clusters.
+        for &id in &ids {
+            if !seen_ids.insert(id) {
+                return Err(bad(format!(
+                    "duplicate vector id {id}: inverted lists must be disjoint"
+                )));
+            }
+        }
         let code_bytes = read_bytes_chunked(
             &mut r,
             len.checked_mul(width.vector_bytes(m))
@@ -263,6 +276,71 @@ mod tests {
         write_index(&mut buf, &index).unwrap();
         buf.truncate(buf.len() / 2);
         assert!(read_index(&buf[..]).is_err());
+    }
+
+    /// Byte offset of the first cluster record in a serialized index.
+    fn first_cluster_offset(index: &IvfPqIndex) -> usize {
+        let dim = index.dim();
+        let m = index.codebook().m();
+        let kstar = index.codebook().kstar();
+        8 + 1 + 16 + index.num_clusters() * dim * 4 + m * kstar * (dim / m) * 4
+    }
+
+    #[test]
+    fn duplicate_id_across_clusters_rejected() {
+        let (_, index) = build(Metric::L2, 16);
+        let mut buf = Vec::new();
+        write_index(&mut buf, &index).unwrap();
+        // Walk to the first cluster holding at least two ids and overwrite
+        // its second id with a copy of an id from a *later* cluster — an
+        // otherwise well-formed file whose inverted lists are not disjoint.
+        let mut off = first_cluster_offset(&index);
+        let vector_bytes = index.cluster(0).codes.vector_bytes();
+        let (mut patched, mut donor) = (None, None);
+        for _ in 0..index.num_clusters() {
+            let len = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap()) as usize;
+            off += 8;
+            if patched.is_none() && len >= 2 {
+                patched = Some(off + 8); // second id slot of this cluster
+            } else if patched.is_some() && donor.is_none() && len >= 1 {
+                donor = Some(u64::from_le_bytes(buf[off..off + 8].try_into().unwrap()));
+            }
+            off += len * 8 + len * vector_bytes;
+        }
+        let slot = patched.expect("some cluster has >= 2 ids");
+        let dup = donor.expect("some later cluster is non-empty");
+        buf[slot..slot + 8].copy_from_slice(&dup.to_le_bytes());
+
+        let err = read_index(&buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(
+            err.to_string().contains("duplicate vector id"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn duplicate_id_within_one_cluster_rejected() {
+        let (_, index) = build(Metric::L2, 16);
+        let mut buf = Vec::new();
+        write_index(&mut buf, &index).unwrap();
+        let mut off = first_cluster_offset(&index);
+        // Find the first cluster with >= 2 ids and duplicate its first id
+        // into its second slot.
+        let vector_bytes = index.cluster(0).codes.vector_bytes();
+        loop {
+            let len = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap()) as usize;
+            off += 8;
+            if len >= 2 {
+                let (a, b) = (off, off + 8);
+                let first: [u8; 8] = buf[a..a + 8].try_into().unwrap();
+                buf[b..b + 8].copy_from_slice(&first);
+                break;
+            }
+            off += len * 8 + len * vector_bytes;
+        }
+        let err = read_index(&buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 
     #[test]

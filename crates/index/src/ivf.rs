@@ -7,6 +7,7 @@ use anna_quant::anisotropic::{self, AnisotropicConfig};
 use anna_quant::codes::PackedCodes;
 use anna_quant::kmeans::{KMeans, KMeansConfig};
 use anna_quant::pq::{PqCodebook, PqConfig};
+use anna_telemetry::Telemetry;
 use anna_vector::{metric, Metric, Neighbor, TopK, VectorSet};
 use serde::{Deserialize, Serialize};
 
@@ -419,7 +420,30 @@ impl IvfPqIndex {
         q: &[f32],
         params: &SearchParams,
     ) -> (Vec<Neighbor>, SearchStats) {
-        let selected = self.filter_clusters(q, params.nprobe);
+        self.search_instrumented(q, params, &Telemetry::disabled())
+    }
+
+    /// [`IvfPqIndex::search_with_stats`] with a telemetry sink.
+    ///
+    /// When `tel` is enabled, the three search stages are timed as spans
+    /// (`search.filter`, `search.lut_build`, `search.scan`) and the
+    /// returned [`SearchStats`] are bridged into the snapshot as
+    /// `search.*` counters. Results are bit-identical to the
+    /// uninstrumented run — telemetry only reads clocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q.len() != self.dim()`.
+    pub fn search_instrumented(
+        &self,
+        q: &[f32],
+        params: &SearchParams,
+        tel: &Telemetry,
+    ) -> (Vec<Neighbor>, SearchStats) {
+        let selected = {
+            let _span = tel.span("search.filter");
+            self.filter_clusters(q, params.nprobe)
+        };
         let mut top = TopK::new(params.k);
         let mut stats = SearchStats {
             centroids_scored: self.num_clusters() as u64,
@@ -427,31 +451,46 @@ impl IvfPqIndex {
         };
 
         // Inner-product tables are cluster-invariant: build once, re-bias.
-        let shared_ip = match self.metric {
-            Metric::InnerProduct => Some(Lut::build_ip(q, &self.codebook, params.lut_precision)),
-            Metric::L2 => None,
+        let shared_ip = {
+            let _span = tel.span("search.lut_build");
+            match self.metric {
+                Metric::InnerProduct => {
+                    Some(Lut::build_ip(q, &self.codebook, params.lut_precision))
+                }
+                Metric::L2 => None,
+            }
         };
         if shared_ip.is_some() {
             stats.luts_built += 1;
         }
 
-        for cid in selected {
-            let cluster = &self.clusters[cid];
-            if cluster.is_empty() {
-                continue;
-            }
-            let lut = match &shared_ip {
-                Some(base) => base.with_bias(metric::dot(q, self.coarse.centroids().row(cid))),
-                None => {
-                    stats.luts_built += 1;
-                    self.build_lut(q, cid, params)
+        {
+            let _span = tel.span("search.scan");
+            for cid in selected {
+                let cluster = &self.clusters[cid];
+                if cluster.is_empty() {
+                    continue;
                 }
-            };
-            stats.clusters_scanned += 1;
-            stats.codes_scanned += cluster.len() as u64;
-            stats.code_bytes_read += cluster.encoded_bytes();
-            kernels::scan(&cluster.codes, &cluster.ids, &lut, &mut top);
+                let lut = match &shared_ip {
+                    Some(base) => base.with_bias(metric::dot(q, self.coarse.centroids().row(cid))),
+                    None => {
+                        stats.luts_built += 1;
+                        self.build_lut(q, cid, params)
+                    }
+                };
+                stats.clusters_scanned += 1;
+                stats.codes_scanned += cluster.len() as u64;
+                stats.code_bytes_read += cluster.encoded_bytes();
+                kernels::scan(&cluster.codes, &cluster.ids, &lut, &mut top);
+            }
         }
+
+        tel.counter_add("search.queries", 1);
+        tel.counter_add("search.centroids_scored", stats.centroids_scored);
+        tel.counter_add("search.clusters_scanned", stats.clusters_scanned);
+        tel.counter_add("search.codes_scanned", stats.codes_scanned);
+        tel.counter_add("search.code_bytes_read", stats.code_bytes_read);
+        tel.counter_add("search.luts_built", stats.luts_built);
         (top.into_sorted_vec(), stats)
     }
 
@@ -642,7 +681,10 @@ mod tests {
         assert_eq!(stats.lookups(4), stats.codes_scanned * 4);
         // The scanned codes equal the sizes of the selected clusters.
         let selected = index.filter_clusters(data.row(0), 3);
-        let expect: u64 = selected.iter().map(|&c| index.cluster(c).len() as u64).sum();
+        let expect: u64 = selected
+            .iter()
+            .map(|&c| index.cluster(c).len() as u64)
+            .sum();
         assert_eq!(stats.codes_scanned, expect);
     }
 
@@ -655,7 +697,10 @@ mod tests {
             lut_precision: LutPrecision::F32,
         };
         let (_, stats) = index.search_with_stats(data.row(0), &params);
-        assert_eq!(stats.luts_built, 1, "inner product reuses one LUT across clusters");
+        assert_eq!(
+            stats.luts_built, 1,
+            "inner product reuses one LUT across clusters"
+        );
     }
 
     #[test]
@@ -729,6 +774,51 @@ mod tests {
         };
         let res = index.search(data.row(15), &params);
         assert_eq!(res.len(), 3);
+    }
+
+    #[test]
+    fn f16_ip_scores_match_all_2byte_reference() {
+        use anna_vector::f16;
+        // In the hardware-faithful F16 mode every stored quantity — LUT
+        // entries *and* the q·c⁽ʲ⁾ bias — lives in the 2-byte lookup-table
+        // SRAM. Recompute each returned score from that all-2-byte
+        // reference and demand exact equality; before the fix the search
+        // path added a full-precision f32 bias the SRAM could never hold.
+        let (data, index) = build(Metric::InnerProduct, 16);
+        let q = data.row(7);
+        let params = SearchParams {
+            nprobe: index.num_clusters(),
+            k: 8,
+            lut_precision: LutPrecision::F16,
+        };
+        let hits = index.search(q, &params);
+        assert!(!hits.is_empty());
+        let base = Lut::build_ip(q, index.codebook(), LutPrecision::F16);
+        for hit in &hits {
+            let (cid, pos) = (0..index.num_clusters())
+                .find_map(|c| {
+                    index
+                        .cluster(c)
+                        .ids
+                        .iter()
+                        .position(|&id| id == hit.id)
+                        .map(|p| (c, p))
+                })
+                .expect("hit id present in some inverted list");
+            let codes = index.cluster(cid).codes.get(pos);
+            let bias = f16::round_trip(metric::dot(q, index.centroids().row(cid)));
+            let want = codes
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| base.get(i, c as usize))
+                .sum::<f32>()
+                + bias;
+            assert_eq!(
+                hit.score, want,
+                "id {}: score not reproducible from 2-byte quantities",
+                hit.id
+            );
+        }
     }
 
     #[test]

@@ -261,7 +261,15 @@ mod tests {
     fn u4_kernel_matches_scalar_reference_with_odd_m() {
         let dim = 6;
         let data = VectorSet::from_fn(dim, 64, |r, c| ((r * 7 + c) % 9) as f32);
-        let book = PqCodebook::train(&data, &PqConfig { m: 3, kstar: 16, iters: 4, seed: 0 });
+        let book = PqCodebook::train(
+            &data,
+            &PqConfig {
+                m: 3,
+                kstar: 16,
+                iters: 4,
+                seed: 0,
+            },
+        );
         let q = vec![0.5f32; dim];
         let lut = Lut::build_ip(&q, &book, LutPrecision::F32);
         anna_testkit::forall("u4 kernel odd m scalar reference", 16, |rng| {
@@ -293,7 +301,15 @@ mod tests {
         // A LUT with m = 2 tables against m = 4 codes.
         let dim = 4;
         let data = VectorSet::from_fn(dim, 64, |r, c| ((r * 5 + c) % 11) as f32);
-        let book = PqCodebook::train(&data, &PqConfig { m: 2, kstar: 16, iters: 3, seed: 0 });
+        let book = PqCodebook::train(
+            &data,
+            &PqConfig {
+                m: 2,
+                kstar: 16,
+                iters: 3,
+                seed: 0,
+            },
+        );
         let wrong = Lut::build_ip(&vec![1.0; dim], &book, LutPrecision::F32);
         let mut top = TopK::new(4);
         scan(&codes, &ids, &wrong, &mut top);

@@ -58,10 +58,10 @@ pub mod lut;
 pub mod parallel;
 
 pub use batched::{BatchStats, BatchedScan};
-pub use parallel::{crossbar_tiles, BatchExec, ClusterTile};
 pub use io::{read_index, write_index};
 pub use ivf::{IndexStats, IvfPqConfig, IvfPqIndex, SearchStats, Trainer};
 pub use lut::{Lut, LutPrecision};
+pub use parallel::{crossbar_tiles, BatchExec, ClusterTile};
 
 use serde::{Deserialize, Serialize};
 

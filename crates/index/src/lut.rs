@@ -33,6 +33,10 @@ pub struct Lut {
     /// inner-product metric, 0 for L2 (where the centroid is folded into
     /// the table entries instead).
     bias: f32,
+    /// Precision the table was built at. Remembered so that re-biasing a
+    /// hardware-faithful F16 table ([`Lut::with_bias`]) keeps every stored
+    /// quantity — entries *and* bias — at the 2-byte SRAM precision.
+    precision: LutPrecision,
 }
 
 impl Lut {
@@ -63,6 +67,7 @@ impl Lut {
             kstar,
             entries,
             bias: 0.0,
+            precision,
         };
         lut.apply_precision(precision);
         lut
@@ -102,6 +107,7 @@ impl Lut {
             kstar,
             entries,
             bias: 0.0,
+            precision,
         };
         lut.apply_precision(precision);
         lut
@@ -117,10 +123,22 @@ impl Lut {
     /// Returns a copy of this LUT with a different additive bias (used to
     /// re-target the cluster-invariant inner-product table to another
     /// cluster).
+    ///
+    /// The bias is stored at the table's own precision: an F16 table rounds
+    /// it through binary16, since ANNA's lookup-table SRAM has no
+    /// full-precision slot to hold `q·c⁽ʲ⁾` in (Section III-B).
     pub fn with_bias(&self, bias: f32) -> Self {
         let mut out = self.clone();
-        out.bias = bias;
+        out.bias = match self.precision {
+            LutPrecision::F16 => f16::round_trip(bias),
+            LutPrecision::F32 => bias,
+        };
         out
+    }
+
+    /// The precision the table stores its entries (and bias) at.
+    pub fn precision(&self) -> LutPrecision {
+        self.precision
     }
 
     /// Number of tables (`M`).
@@ -265,6 +283,29 @@ mod tests {
             let rounded = f16::round_trip(f32lut.entries()[i]);
             assert_eq!(f16lut.entries()[i], rounded);
         }
+    }
+
+    #[test]
+    fn f16_with_bias_rounds_bias_to_table_precision() {
+        let book = book();
+        let q = [0.1, 0.2, 0.3, 0.4];
+        // A bias that is not representable in binary16.
+        let raw_bias = 0.1234567f32;
+        assert_ne!(f16::round_trip(raw_bias), raw_bias);
+
+        let lut = Lut::build_ip(&q, &book, LutPrecision::F16).with_bias(raw_bias);
+        assert_eq!(lut.precision(), LutPrecision::F16);
+        assert_eq!(lut.bias(), f16::round_trip(raw_bias));
+
+        // The score must equal the all-2-byte reference: f16 entries summed
+        // with an f16 bias — nothing in the pipeline at full precision.
+        let base = Lut::build_ip(&q, &book, LutPrecision::F16);
+        let want = base.score(&[1, 2]) - base.bias() + f16::round_trip(raw_bias);
+        assert_eq!(lut.score(&[1, 2]), want);
+
+        // F32 tables keep the raw bias.
+        let f32lut = Lut::build_ip(&q, &book, LutPrecision::F32).with_bias(raw_bias);
+        assert_eq!(f32lut.bias(), raw_bias);
     }
 
     #[test]

@@ -42,6 +42,7 @@ use crate::ivf::IvfPqIndex;
 use crate::kernels;
 use crate::lut::Lut;
 use crate::SearchParams;
+use anna_telemetry::Telemetry;
 use anna_vector::{metric, TopK, VectorSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -183,11 +184,63 @@ impl TileAccum {
     }
 }
 
+/// Drains tiles off the shared `cursor` into a fresh accumulator — the
+/// body of one worker.
+///
+/// When `tel` is enabled, every tile's scan window is measured and
+/// buffered locally, then flushed in one burst after the drain: the hot
+/// loop never touches the registry, so instrumentation cannot perturb the
+/// tile race (and the output is schedule-invariant anyway, see the module
+/// docs). Per worker this records `worker<w>.tiles` /
+/// `worker<w>.busy_ns` / `worker<w>.idle_ns` counters plus one
+/// `batch.tile_scan` trace event per tile on thread lane `w`.
+#[allow(clippy::too_many_arguments)]
+fn drain_tiles(
+    index: &IvfPqIndex,
+    queries: &VectorSet,
+    params: &SearchParams,
+    ip_base: Option<&[Lut]>,
+    tiles: &[ClusterTile],
+    cursor: &AtomicUsize,
+    worker: u64,
+    tel: &Telemetry,
+) -> TileAccum {
+    let mut acc = TileAccum::new(queries.len());
+    let timed = tel.is_enabled();
+    let begin = tel.now_ns();
+    let mut busy = 0u64;
+    let mut windows: Vec<(u64, u64)> = Vec::new();
+    loop {
+        let i = cursor.fetch_add(1, Ordering::Relaxed);
+        let Some(tile) = tiles.get(i) else { break };
+        let start = if timed { tel.now_ns() } else { 0 };
+        acc.score_tile(index, queries, params, ip_base, tile);
+        if timed {
+            let dur = tel.now_ns().saturating_sub(start);
+            busy += dur;
+            windows.push((start, dur));
+        }
+    }
+    if timed {
+        let total = tel.now_ns().saturating_sub(begin);
+        let per_worker = tel.scoped(&format!("worker{worker}"));
+        per_worker.counter_add("tiles", windows.len() as u64);
+        per_worker.counter_add("busy_ns", busy);
+        per_worker.counter_add("idle_ns", total.saturating_sub(busy));
+        for (start, dur) in windows {
+            tel.trace_event_ns("batch.tile_scan", worker, start, dur);
+        }
+    }
+    acc
+}
+
 /// Runs `tiles` on `threads` scoped workers and merges the per-worker
 /// accumulators into one [`TopK`] per query plus aggregate [`BatchStats`].
 ///
 /// See the module docs for why the output is independent of `threads` and
-/// of how the OS schedules the workers.
+/// of how the OS schedules the workers. `tel` adds per-worker utilization
+/// counters and a per-tile timeline when enabled (see [`drain_tiles`]);
+/// pass [`Telemetry::disabled`] for the uninstrumented path.
 pub(crate) fn execute_tiles(
     index: &IvfPqIndex,
     queries: &VectorSet,
@@ -195,6 +248,7 @@ pub(crate) fn execute_tiles(
     ip_base: Option<&[Lut]>,
     tiles: &[ClusterTile],
     threads: usize,
+    tel: &Telemetry,
 ) -> (Vec<TopK>, BatchStats) {
     let nq = queries.len();
     let mut merged: Vec<TopK> = (0..nq).map(|_| TopK::new(params.k)).collect();
@@ -210,31 +264,28 @@ pub(crate) fn execute_tiles(
     };
 
     let workers = threads.max(1).min(tiles.len().max(1));
+    let cursor = AtomicUsize::new(0);
     if workers <= 1 {
-        let mut acc = TileAccum::new(nq);
-        for tile in tiles {
-            acc.score_tile(index, queries, params, ip_base, tile);
-        }
+        let acc = drain_tiles(index, queries, params, ip_base, tiles, &cursor, 0, tel);
+        let _merge = tel.span("batch.merge");
         fold(acc, &mut merged, &mut stats);
     } else {
         // Dynamic self-scheduling: workers race on an atomic cursor, so a
         // thread stuck on a large cluster doesn't strand the tail of the
         // tile list behind it.
-        let cursor = AtomicUsize::new(0);
         let done: Mutex<Vec<TileAccum>> = Mutex::new(Vec::with_capacity(workers));
         std::thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(|| {
-                    let mut acc = TileAccum::new(nq);
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(tile) = tiles.get(i) else { break };
-                        acc.score_tile(index, queries, params, ip_base, tile);
-                    }
+            for w in 0..workers {
+                let (cursor, done) = (&cursor, &done);
+                s.spawn(move || {
+                    let acc = drain_tiles(
+                        index, queries, params, ip_base, tiles, cursor, w as u64, tel,
+                    );
                     done.lock().expect("worker poisoned accumulators").push(acc);
                 });
             }
         });
+        let _merge = tel.span("batch.merge");
         for acc in done.into_inner().expect("worker poisoned accumulators") {
             fold(acc, &mut merged, &mut stats);
         }

@@ -35,7 +35,11 @@ fn truncation_never_panics() {
         let result = std::panic::catch_unwind(|| io::read_index(slice));
         let inner = result.expect("reader panicked on truncated input");
         if cut < buf.len() {
-            assert!(inner.is_err(), "truncated read at {cut}/{} succeeded", buf.len());
+            assert!(
+                inner.is_err(),
+                "truncated read at {cut}/{} succeeded",
+                buf.len()
+            );
         }
     });
 }
@@ -56,7 +60,46 @@ fn header_corruption_never_panics() {
         let result = std::panic::catch_unwind(move || {
             let _ = io::read_index(&buf[..]);
         });
-        assert!(result.is_ok(), "reader panicked on corrupt header byte {offset}");
+        assert!(
+            result.is_ok(),
+            "reader panicked on corrupt header byte {offset}"
+        );
+    });
+}
+
+/// Crafted duplicate-id files — otherwise perfectly well-formed — must be
+/// rejected with `InvalidData`: duplicated candidate ids break the
+/// "pushed at most once" precondition `TopK::merge` determinism rests on.
+#[test]
+fn crafted_duplicate_id_file_rejected() {
+    let pristine = serialized_index();
+    // Walk the cluster records (header 25 B, 4 clusters of 8-dim data,
+    // m=4, k*=16) and collect the byte offset of every stored id.
+    let (dim, c, m, kstar) = (8usize, 4usize, 4usize, 16usize);
+    let vector_bytes = m / 2; // 4-bit identifiers
+    let mut off = 25 + c * dim * 4 + m * kstar * (dim / m) * 4;
+    let mut id_slots = Vec::new();
+    for _ in 0..c {
+        let len = u64::from_le_bytes(pristine[off..off + 8].try_into().unwrap()) as usize;
+        off += 8;
+        for s in 0..len {
+            id_slots.push(off + s * 8);
+        }
+        off += len * 8 + len * vector_bytes;
+    }
+    assert!(id_slots.len() >= 2, "index too small to craft duplicates");
+
+    forall("crafted duplicate ids rejected", 48, |rng| {
+        let mut buf = pristine.clone();
+        let src = *rng.pick(&id_slots);
+        let dst = *rng.pick(&id_slots);
+        if src == dst {
+            return; // no-op: copying a slot onto itself leaves ids disjoint
+        }
+        let id: [u8; 8] = buf[src..src + 8].try_into().unwrap();
+        buf[dst..dst + 8].copy_from_slice(&id);
+        let err = io::read_index(&buf[..]).expect_err("duplicate ids accepted");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
     });
 }
 
@@ -74,6 +117,9 @@ fn payload_corruption_never_panics() {
         let result = std::panic::catch_unwind(move || {
             let _ = io::read_index(&buf[..]);
         });
-        assert!(result.is_ok(), "reader panicked on corrupt payload byte {offset}");
+        assert!(
+            result.is_ok(),
+            "reader panicked on corrupt payload byte {offset}"
+        );
     });
 }

@@ -11,6 +11,7 @@
 //! so any schedule-dependent tie-breaking in the merge would show up.
 
 use anna_index::{BatchExec, BatchedScan, IvfPqConfig, IvfPqIndex, LutPrecision, SearchParams};
+use anna_telemetry::Telemetry;
 use anna_testkit::{forall, TestRng};
 use anna_vector::{Metric, VectorSet};
 
@@ -95,6 +96,55 @@ fn inner_product_kstar16_parallel_matches_serial() {
 #[test]
 fn inner_product_kstar256_parallel_matches_serial() {
     parallel_matches_serial(Metric::InnerProduct, 256);
+}
+
+/// Telemetry must be an observer, not a participant: with a live sink
+/// attached, every worker count still reproduces the serial neighbors and
+/// [`anna_index::BatchStats`] bit-for-bit — instrumentation only reads
+/// clocks and bumps atomics, so the tile race's outcome cannot depend on
+/// it. (The serial reference here runs uninstrumented, so this also pins
+/// instrumented == uninstrumented.)
+#[test]
+fn telemetry_enabled_run_stays_bit_identical_to_serial() {
+    let (data, index) = build(Metric::L2, 16);
+    let scan = BatchedScan::new(&index);
+    forall(
+        "telemetry on: parallel == serial",
+        8,
+        |rng: &mut TestRng| {
+            let batch = rng.usize(1..48);
+            let ids: Vec<usize> = (0..batch).map(|_| rng.usize(0..data.len())).collect();
+            let queries = data.gather(&ids);
+            let params = SearchParams {
+                nprobe: rng.usize(1..8),
+                k: rng.usize(1..12),
+                lut_precision: LutPrecision::F32,
+            };
+            let group = *rng.pick(&[0usize, 2, 5]);
+
+            let (serial, serial_stats) = scan.run_serial(&queries, &params);
+            for threads in THREADS {
+                let tel = Telemetry::enabled();
+                let exec = BatchExec {
+                    threads,
+                    queries_per_group: group,
+                };
+                let (par, par_stats) = scan.run_instrumented(&queries, &params, &exec, &tel);
+                assert_eq!(
+                    par, serial,
+                    "neighbors diverged with telemetry: threads={threads} group={group}"
+                );
+                assert_eq!(
+                    par_stats, serial_stats,
+                    "stats diverged with telemetry: threads={threads} group={group}"
+                );
+                // And the sink actually observed the run.
+                let snap = tel.snapshot_json().expect("telemetry enabled");
+                assert!(snap.contains("\"batch.plan\""), "{snap}");
+                assert!(snap.contains("\"worker0.tiles\""), "{snap}");
+            }
+        },
+    );
 }
 
 /// The parallel batch engine must also agree with per-query search — the

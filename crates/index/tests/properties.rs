@@ -56,7 +56,11 @@ fn batched_equals_query_major() {
         let db = arb_dataset(rng);
         let nprobe = rng.usize(1..6);
         let k = rng.usize(1..8);
-        let metric = if rng.bool() { Metric::InnerProduct } else { Metric::L2 };
+        let metric = if rng.bool() {
+            Metric::InnerProduct
+        } else {
+            Metric::L2
+        };
         let index = IvfPqIndex::build(
             &db,
             &IvfPqConfig {
@@ -70,7 +74,11 @@ fn batched_equals_query_major() {
             },
         );
         let queries = db.gather(&(0..db.len().min(9)).collect::<Vec<_>>());
-        let params = SearchParams { nprobe, k, ..Default::default() };
+        let params = SearchParams {
+            nprobe,
+            k,
+            ..Default::default()
+        };
         let (batched, stats) = BatchedScan::new(&index).run(&queries, &params);
         for (qi, res) in batched.iter().enumerate() {
             let single = index.search(queries.row(qi), &params);
@@ -100,8 +108,22 @@ fn nprobe_monotone_in_best_score() {
             },
         );
         let q = db.row(0);
-        let a = index.search(q, &SearchParams { nprobe: w, k: 1, ..Default::default() });
-        let b = index.search(q, &SearchParams { nprobe: w + 1, k: 1, ..Default::default() });
+        let a = index.search(
+            q,
+            &SearchParams {
+                nprobe: w,
+                k: 1,
+                ..Default::default()
+            },
+        );
+        let b = index.search(
+            q,
+            &SearchParams {
+                nprobe: w + 1,
+                k: 1,
+                ..Default::default()
+            },
+        );
         if let (Some(x), Some(y)) = (a.first(), b.first()) {
             assert!(y.score >= x.score - 1e-4);
         }

@@ -52,8 +52,22 @@ fn kmeans_beats_single_centroid() {
         let data = VectorSet::from_fn(3, n, |r, c| {
             ((r as u64 * 2654435761 + c as u64 * 40503 + seed) % 97) as f32
         });
-        let one = KMeans::train(&data, &KMeansConfig { k: 1, max_iters: 10, seed });
-        let four = KMeans::train(&data, &KMeansConfig { k: 4, max_iters: 10, seed });
+        let one = KMeans::train(
+            &data,
+            &KMeansConfig {
+                k: 1,
+                max_iters: 10,
+                seed,
+            },
+        );
+        let four = KMeans::train(
+            &data,
+            &KMeansConfig {
+                k: 4,
+                max_iters: 10,
+                seed,
+            },
+        );
         assert!(four.inertia(&data) <= one.inertia(&data) + 1e-6);
     });
 }
@@ -67,7 +81,15 @@ fn pq_encode_is_nearest_codeword() {
         let data = VectorSet::from_fn(6, 80, |r, c| {
             ((r as u64 * 31 + c as u64 * 17 + seed * 7) % 23) as f32
         });
-        let book = PqCodebook::train(&data, &PqConfig { m: 3, kstar: 4, iters: 6, seed });
+        let book = PqCodebook::train(
+            &data,
+            &PqConfig {
+                m: 3,
+                kstar: 4,
+                iters: 6,
+                seed,
+            },
+        );
         for i in 0..data.len() {
             let codes = book.encode(data.row(i));
             for (j, &code) in codes.iter().enumerate() {
@@ -125,7 +147,12 @@ fn opq_rotation_is_an_isometry() {
         let opq = Opq::train(
             &data,
             &OpqConfig {
-                pq: PqConfig { m: 2, kstar: 4, iters: 3, seed },
+                pq: PqConfig {
+                    m: 2,
+                    kstar: 4,
+                    iters: 3,
+                    seed,
+                },
                 outer_iters: 2,
             },
         );
@@ -151,7 +178,13 @@ fn aq_scores_match_decoded() {
         });
         let book = AqCodebook::train(
             &data,
-            &AqConfig { m: 2, kstar: 4, iters: 4, beam: 2, seed },
+            &AqConfig {
+                m: 2,
+                kstar: 4,
+                iters: 4,
+                beam: 2,
+                seed,
+            },
         );
         let q: Vec<f32> = (0..4).map(|i| (i as f32) - 1.5).collect();
         let lut = book.build_lut(&q);
@@ -160,7 +193,10 @@ fn aq_scores_match_decoded() {
             assert!(code.codes.iter().all(|&c| (c as usize) < 4));
             let want = metric::dot(&q, &book.decode(&code.codes));
             let got = AqCodebook::score_ip(&lut, &code);
-            assert!((want - got).abs() <= 0.05 * (1.0 + want.abs()), "{want} vs {got}");
+            assert!(
+                (want - got).abs() <= 0.05 * (1.0 + want.abs()),
+                "{want} vs {got}"
+            );
         }
     });
 }
@@ -175,7 +211,15 @@ fn pq_reconstruction_is_subspace_optimal() {
         let data = VectorSet::from_fn(4, 60, |r, c| {
             (((r + 3) as u64 * 101 + c as u64 * 59 + seed * 11) % 41) as f32
         });
-        let book = PqCodebook::train(&data, &PqConfig { m: 2, kstar: 4, iters: 6, seed });
+        let book = PqCodebook::train(
+            &data,
+            &PqConfig {
+                m: 2,
+                kstar: 4,
+                iters: 6,
+                seed,
+            },
+        );
         for i in (0..data.len()).step_by(7) {
             let v = data.row(i);
             let best = book.decode(&book.encode(v));

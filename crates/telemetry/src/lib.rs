@@ -1,0 +1,300 @@
+//! Workspace-wide telemetry: counters, gauges, log-linear histograms, span
+//! timers, and per-worker timelines — std-only, zero-cost when disabled.
+//!
+//! The entry point is [`Telemetry`], a cheaply cloneable handle that is
+//! either **disabled** (the default: every operation is a no-op that never
+//! reads the clock) or **enabled** around a shared [`Registry`]. Layers
+//! thread a `&Telemetry` through their hot paths; benches and tests enable
+//! it to get a JSON metric snapshot ([`Telemetry::snapshot_json`]) and a
+//! chrome://tracing timeline ([`Telemetry::chrome_trace_json`]).
+//!
+//! Instrumentation must never perturb results: telemetry only reads clocks
+//! and bumps atomics, so an instrumented run computes bit-identical output
+//! to an uninstrumented one (the parallel==serial determinism tests in
+//! `anna-index` assert this with telemetry on).
+//!
+//! # Example
+//!
+//! ```
+//! use anna_telemetry::Telemetry;
+//!
+//! let tel = Telemetry::enabled();
+//! {
+//!     let _span = tel.span("stage.plan"); // timed until dropped
+//!     tel.counter_add("items", 42);
+//! }
+//! let snapshot = tel.snapshot_json().unwrap();
+//! assert!(snapshot.contains("\"items\":42"));
+//! assert!(snapshot.contains("stage.plan"));
+//!
+//! // Disabled telemetry costs one branch and records nothing.
+//! let off = Telemetry::disabled();
+//! let _span = off.span("never.recorded");
+//! assert!(off.snapshot_json().is_none());
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod metrics;
+pub mod registry;
+
+pub use metrics::{Counter, Gauge, Histogram, HISTOGRAM_BINS};
+pub use registry::{Registry, TraceEvent};
+
+use std::sync::Arc;
+
+/// One scope of an enabled telemetry pipeline: the shared registry plus
+/// the name prefix and trace process lane this handle records under.
+#[derive(Debug)]
+struct Scope {
+    registry: Arc<Registry>,
+    prefix: String,
+    pid: u64,
+}
+
+/// A telemetry sink handle.
+///
+/// Cloning is cheap (an `Option<Arc>`); clones share the same registry.
+/// The [`Telemetry::disabled`] handle (also the `Default`) makes every
+/// operation a no-op — no clock reads, no allocation, one branch.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Scope>>,
+}
+
+impl Telemetry {
+    /// A no-op sink: records nothing, never reads the clock.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// A live sink around a fresh [`Registry`].
+    pub fn enabled() -> Self {
+        Self {
+            inner: Some(Arc::new(Scope {
+                registry: Arc::new(Registry::new()),
+                prefix: String::new(),
+                pid: 0,
+            })),
+        }
+    }
+
+    /// Whether this handle records anything. Hot paths that need to
+    /// *measure* (rather than just count) should check this before reading
+    /// clocks, so the disabled mode stays free of timing syscalls.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The shared registry, when enabled.
+    pub fn registry(&self) -> Option<&Arc<Registry>> {
+        self.inner.as_ref().map(|s| &s.registry)
+    }
+
+    /// A handle recording under `prefix.`-qualified names into the same
+    /// registry (e.g. `scoped("threads4")` turns `worker.busy_ns` into
+    /// `threads4.worker.busy_ns`). Disabled handles stay disabled.
+    pub fn scoped(&self, prefix: &str) -> Self {
+        Self {
+            inner: self.inner.as_ref().map(|s| {
+                Arc::new(Scope {
+                    registry: s.registry.clone(),
+                    prefix: format!("{}{}.", s.prefix, prefix),
+                    pid: s.pid,
+                })
+            }),
+        }
+    }
+
+    /// A handle whose trace events land on process lane `pid` (one lane
+    /// per run keeps, e.g., each thread-count of a sweep separable in
+    /// chrome://tracing). Metric names are unaffected.
+    pub fn with_process(&self, pid: u64) -> Self {
+        Self {
+            inner: self.inner.as_ref().map(|s| {
+                Arc::new(Scope {
+                    registry: s.registry.clone(),
+                    prefix: s.prefix.clone(),
+                    pid,
+                })
+            }),
+        }
+    }
+
+    /// Adds `v` to the counter `name`.
+    #[inline]
+    pub fn counter_add(&self, name: &str, v: u64) {
+        if let Some(s) = &self.inner {
+            s.registry.counter(&format!("{}{name}", s.prefix)).add(v);
+        }
+    }
+
+    /// Sets the gauge `name` to `v`.
+    #[inline]
+    pub fn gauge_set(&self, name: &str, v: u64) {
+        if let Some(s) = &self.inner {
+            s.registry.gauge(&format!("{}{name}", s.prefix)).set(v);
+        }
+    }
+
+    /// Records `ns` into the histogram `name`.
+    #[inline]
+    pub fn record_ns(&self, name: &str, ns: u64) {
+        if let Some(s) = &self.inner {
+            s.registry
+                .histogram(&format!("{}{name}", s.prefix))
+                .record(ns);
+        }
+    }
+
+    /// Nanoseconds since the registry epoch; 0 when disabled. Use with
+    /// [`Telemetry::trace_event_ns`] for code that measures its own
+    /// windows (guard the measurement with [`Telemetry::is_enabled`]).
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        match &self.inner {
+            Some(s) => s.registry.now_ns(),
+            None => 0,
+        }
+    }
+
+    /// Records a completed timeline span on thread lane `tid` with an
+    /// explicit window, *and* its duration into the histogram `name`.
+    pub fn trace_event_ns(&self, name: &str, tid: u64, start_ns: u64, dur_ns: u64) {
+        if let Some(s) = &self.inner {
+            let full = format!("{}{name}", s.prefix);
+            s.registry.histogram(&full).record(dur_ns);
+            s.registry.push_event(TraceEvent {
+                name: full,
+                pid: s.pid,
+                tid,
+                ts_ns: start_ns,
+                dur_ns,
+            });
+        }
+    }
+
+    /// Starts a span on thread lane 0; the drop records its duration (see
+    /// [`Telemetry::span_tid`]).
+    pub fn span(&self, name: &str) -> Span {
+        self.span_tid(name, 0)
+    }
+
+    /// Starts a span on thread lane `tid`. When the returned guard drops,
+    /// the elapsed time is recorded into the histogram `name` and a trace
+    /// event is appended. Disabled handles return an inert guard.
+    pub fn span_tid(&self, name: &str, tid: u64) -> Span {
+        Span {
+            state: self.inner.as_ref().map(|s| SpanState {
+                scope: s.clone(),
+                name: name.to_string(),
+                tid,
+                start_ns: s.registry.now_ns(),
+            }),
+        }
+    }
+
+    /// The metric snapshot as compact JSON; `None` when disabled.
+    pub fn snapshot_json(&self) -> Option<String> {
+        self.inner.as_ref().map(|s| s.registry.snapshot_json())
+    }
+
+    /// The chrome://tracing timeline as JSON; `None` when disabled.
+    pub fn chrome_trace_json(&self) -> Option<String> {
+        self.inner.as_ref().map(|s| s.registry.chrome_trace_json())
+    }
+}
+
+struct SpanState {
+    scope: Arc<Scope>,
+    name: String,
+    tid: u64,
+    start_ns: u64,
+}
+
+/// A scoped timer: measures from creation to drop (RAII). Obtained from
+/// [`Telemetry::span`]; inert when the telemetry handle is disabled.
+#[must_use = "a span measures until dropped; binding it to _ drops immediately"]
+pub struct Span {
+    state: Option<SpanState>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(s) = self.state.take() {
+            let end = s.scope.registry.now_ns();
+            let dur = end.saturating_sub(s.start_ns);
+            let full = format!("{}{}", s.scope.prefix, s.name);
+            s.scope.registry.histogram(&full).record(dur);
+            s.scope.registry.push_event(TraceEvent {
+                name: full,
+                pid: s.scope.pid,
+                tid: s.tid,
+                ts_ns: s.start_ns,
+                dur_ns: dur,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_a_no_op() {
+        let tel = Telemetry::disabled();
+        tel.counter_add("c", 1);
+        tel.gauge_set("g", 1);
+        tel.record_ns("h", 1);
+        tel.trace_event_ns("e", 0, 0, 1);
+        drop(tel.span("s"));
+        assert!(!tel.is_enabled());
+        assert_eq!(tel.now_ns(), 0);
+        assert!(tel.snapshot_json().is_none());
+        assert!(tel.chrome_trace_json().is_none());
+    }
+
+    #[test]
+    fn span_records_histogram_and_trace_event() {
+        let tel = Telemetry::enabled();
+        {
+            let _s = tel.span_tid("stage.scan", 3);
+        }
+        let snap = tel.snapshot_json().unwrap();
+        assert!(snap.contains("\"stage.scan\""), "{snap}");
+        let trace = tel.chrome_trace_json().unwrap();
+        assert!(trace.contains("\"tid\":3"), "{trace}");
+        assert_eq!(tel.registry().unwrap().event_count(), 1);
+    }
+
+    #[test]
+    fn scoped_prefixes_compose() {
+        let tel = Telemetry::enabled();
+        let t2 = tel.scoped("threads2").scoped("worker0");
+        t2.counter_add("tiles", 5);
+        let snap = tel.snapshot_json().unwrap();
+        assert!(snap.contains("\"threads2.worker0.tiles\":5"), "{snap}");
+    }
+
+    #[test]
+    fn with_process_separates_trace_lanes() {
+        let tel = Telemetry::enabled();
+        tel.with_process(8).trace_event_ns("run", 1, 100, 50);
+        let trace = tel.chrome_trace_json().unwrap();
+        assert!(trace.contains("\"pid\":8"), "{trace}");
+        // The duration also landed in the (unprefixed) histogram.
+        let snap = tel.snapshot_json().unwrap();
+        assert!(snap.contains("\"run\""), "{snap}");
+    }
+
+    #[test]
+    fn clones_share_the_registry() {
+        let tel = Telemetry::enabled();
+        let clone = tel.clone();
+        clone.counter_add("shared", 2);
+        tel.counter_add("shared", 3);
+        assert!(tel.snapshot_json().unwrap().contains("\"shared\":5"));
+    }
+}

@@ -1,0 +1,284 @@
+//! Metric primitives: monotonic counters, last-value gauges, and
+//! log-linear histograms.
+//!
+//! Everything here is lock-free (`AtomicU64` with relaxed ordering):
+//! instrumented hot loops touch metrics concurrently from worker threads,
+//! and nothing downstream orders on them — snapshots are taken after the
+//! workers join.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `v` to the counter.
+    #[inline]
+    pub fn add(&self, v: u64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of buckets in a [`Histogram`]: 8 exact buckets for values below
+/// 8, then 8 sub-buckets per power-of-two octave up to `u64::MAX`.
+pub const HISTOGRAM_BINS: usize = 496;
+
+/// A log-linear histogram over `u64` values (typically nanoseconds).
+///
+/// Values below 8 get exact buckets; above that, each power-of-two octave
+/// is split into 8 linear sub-buckets, so any recorded value lands in a
+/// bucket whose width is at most 1/8 of its lower bound — ≤ 12.5% relative
+/// quantization error, with a fixed 496-bucket footprint covering the full
+/// `u64` range. This is the standard HDR-style layout used by production
+/// latency recorders.
+#[derive(Debug)]
+pub struct Histogram {
+    bins: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            bins: (0..HISTOGRAM_BINS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index `v` falls into.
+    #[inline]
+    pub fn bucket_index(v: u64) -> usize {
+        if v < 8 {
+            v as usize
+        } else {
+            let octave = 63 - v.leading_zeros() as usize; // >= 3
+            8 * (octave - 2) + ((v >> (octave - 3)) & 7) as usize
+        }
+    }
+
+    /// The smallest value mapping to bucket `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= HISTOGRAM_BINS`.
+    pub fn bucket_lower_bound(idx: usize) -> u64 {
+        assert!(idx < HISTOGRAM_BINS);
+        if idx < 8 {
+            idx as u64
+        } else {
+            (8 + (idx % 8) as u64) << (idx / 8 - 1)
+        }
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.bins[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded values, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        let c = self.count();
+        if c == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / c as f64
+        }
+    }
+
+    /// Smallest recorded value (exact), 0 when empty.
+    pub fn min(&self) -> u64 {
+        let m = self.min.load(Ordering::Relaxed);
+        if m == u64::MAX {
+            0
+        } else {
+            m
+        }
+    }
+
+    /// Largest recorded value (exact).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// The quantile `q` in `[0, 1]`, reported as the lower bound of the
+    /// bucket holding the target rank (so within the layout's 12.5%
+    /// quantization of the true order statistic). Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, bin) in self.bins.iter().enumerate() {
+            cum += bin.load(Ordering::Relaxed);
+            if cum >= target {
+                return Self::bucket_lower_bound(i);
+            }
+        }
+        self.max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.add(3);
+        c.add(4);
+        assert_eq!(c.get(), 7);
+    }
+
+    #[test]
+    fn gauge_keeps_last_value() {
+        let g = Gauge::new();
+        g.set(10);
+        g.set(2);
+        assert_eq!(g.get(), 2);
+    }
+
+    #[test]
+    fn bucket_edges_roundtrip() {
+        // Every bucket's lower bound must map back to that bucket, and the
+        // index must be monotone in the value.
+        for idx in 0..HISTOGRAM_BINS {
+            let lo = Histogram::bucket_lower_bound(idx);
+            assert_eq!(Histogram::bucket_index(lo), idx, "lower bound of {idx}");
+            if lo > 0 {
+                assert_eq!(
+                    Histogram::bucket_index(lo - 1),
+                    idx - 1,
+                    "bucket {idx} lower bound {lo} not a boundary"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_on_samples() {
+        let mut prev = 0usize;
+        let mut v = 1u64;
+        while v < u64::MAX / 3 {
+            let idx = Histogram::bucket_index(v);
+            assert!(idx >= prev, "index decreased at {v}");
+            prev = idx;
+            v = v.saturating_mul(3) / 2 + 1;
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        // Bucket width / lower bound ≤ 1/8 for all log-linear buckets.
+        for idx in 8..HISTOGRAM_BINS - 1 {
+            let lo = Histogram::bucket_lower_bound(idx);
+            let hi = Histogram::bucket_lower_bound(idx + 1);
+            assert!(
+                (hi - lo) as f64 / lo as f64 <= 0.125 + 1e-12,
+                "bucket {idx}: [{lo}, {hi}) too wide"
+            );
+        }
+    }
+
+    #[test]
+    fn extremes_are_representable() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(u64::MAX), HISTOGRAM_BINS - 1);
+        let h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_track_order_statistics() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        // Within the 12.5% bucket quantization of the true order statistic.
+        assert!((440..=500).contains(&p50), "p50 = {p50}");
+        assert!((870..=990).contains(&p99), "p99 = {p99}");
+        assert!(h.quantile(0.0) >= h.min());
+        assert_eq!(h.quantile(1.0), 960); // lower bound of max's bucket
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+}

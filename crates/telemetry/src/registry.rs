@@ -1,0 +1,281 @@
+//! The labeled metric registry: named counters/gauges/histograms plus a
+//! trace-event log, with deterministic JSON snapshot export and a
+//! chrome://tracing (`trace_events`) timeline exporter.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::metrics::{Counter, Gauge, Histogram};
+
+/// One completed span on a process/thread timeline, in the shape
+/// chrome://tracing's `"ph": "X"` (complete) events expect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Span name (shown on the timeline bar).
+    pub name: String,
+    /// Process lane (`pid`) — used here to separate runs, e.g. one lane
+    /// per thread-count in a sweep.
+    pub pid: u64,
+    /// Thread lane (`tid`) — e.g. the worker index.
+    pub tid: u64,
+    /// Start, in nanoseconds since the registry was created.
+    pub ts_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// A collection of named metrics and trace events.
+///
+/// Metric handles are created on first use and shared behind `Arc`, so
+/// concurrent instrumentation from worker threads contends only on the
+/// name-lookup mutex (once per metric per call site at steady state — hot
+/// loops should hold the `Arc` or accumulate locally and flush once).
+#[derive(Debug)]
+pub struct Registry {
+    start: Instant,
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// Creates an empty registry; its creation instant is the zero point
+    /// of all trace-event timestamps.
+    pub fn new() -> Self {
+        Self {
+            start: Instant::now(),
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Nanoseconds since the registry was created (the trace time base).
+    pub fn now_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    /// The counter named `name`, created at zero on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().unwrap();
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The gauge named `name`, created at zero on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().unwrap();
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The histogram named `name`, created empty on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().unwrap();
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Appends a trace event.
+    pub fn push_event(&self, event: TraceEvent) {
+        self.events.lock().unwrap().push(event);
+    }
+
+    /// Serializes every metric to a compact JSON snapshot.
+    ///
+    /// Keys are emitted in sorted order and histograms as fixed summary
+    /// fields, so two registries holding the same values produce
+    /// byte-identical snapshots regardless of registration or recording
+    /// order.
+    pub fn snapshot_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, c)) in self.counters.lock().unwrap().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{}", json_string(name), c.get());
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, g)) in self.gauges.lock().unwrap().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{}", json_string(name), g.get());
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.lock().unwrap().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{}:{{\"count\":{},\"sum\":{},\"mean\":{:.3},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                json_string(name),
+                h.count(),
+                h.sum(),
+                h.mean(),
+                h.min(),
+                h.max(),
+                h.quantile(0.5),
+                h.quantile(0.9),
+                h.quantile(0.99),
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Serializes the trace-event log to the chrome://tracing JSON format
+    /// (load the file via `chrome://tracing` or <https://ui.perfetto.dev>).
+    ///
+    /// Events are sorted by (pid, tid, start, name) so the output is
+    /// deterministic for a given set of events even when workers flushed
+    /// them in a racy order.
+    pub fn chrome_trace_json(&self) -> String {
+        let mut events = self.events.lock().unwrap().clone();
+        events.sort_by(|a, b| {
+            (a.pid, a.tid, a.ts_ns, &a.name).cmp(&(b.pid, b.tid, b.ts_ns, &b.name))
+        });
+        let mut out = String::from("{\"traceEvents\":[");
+        for (i, e) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":{},\"cat\":\"anna\",\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":{:.3},\"dur\":{:.3}}}",
+                json_string(&e.name),
+                e.pid,
+                e.tid,
+                e.ts_ns as f64 / 1000.0,
+                e.dur_ns as f64 / 1000.0,
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Number of trace events recorded so far.
+    pub fn event_count(&self) -> usize {
+        self.events.lock().unwrap().len()
+    }
+}
+
+/// Escapes `s` as a JSON string literal (with the surrounding quotes).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_is_stable_across_recording_order() {
+        let a = Registry::new();
+        a.counter("x.total").add(3);
+        a.counter("a.total").add(1);
+        a.gauge("threads").set(4);
+        a.histogram("lat").record(100);
+        a.histogram("lat").record(200);
+
+        let b = Registry::new();
+        b.histogram("lat").record(200);
+        b.histogram("lat").record(100);
+        b.gauge("threads").set(4);
+        b.counter("a.total").add(1);
+        b.counter("x.total").add(3);
+
+        assert_eq!(a.snapshot_json(), b.snapshot_json());
+    }
+
+    #[test]
+    fn snapshot_shape_is_sorted_json() {
+        let r = Registry::new();
+        r.counter("b").add(2);
+        r.counter("a").add(1);
+        let s = r.snapshot_json();
+        assert!(s.starts_with("{\"counters\":{\"a\":1,\"b\":2}"), "{s}");
+        assert!(s.contains("\"gauges\":{}"));
+        assert!(s.contains("\"histograms\":{}"));
+    }
+
+    #[test]
+    fn histogram_snapshot_has_summary_fields() {
+        let r = Registry::new();
+        for v in [10u64, 20, 30] {
+            r.histogram("span.ns").record(v);
+        }
+        let s = r.snapshot_json();
+        assert!(s.contains("\"count\":3"), "{s}");
+        assert!(s.contains("\"sum\":60"), "{s}");
+        assert!(s.contains("\"mean\":20.000"), "{s}");
+        assert!(s.contains("\"p50\":"), "{s}");
+    }
+
+    #[test]
+    fn chrome_trace_is_sorted_and_valid_shape() {
+        let r = Registry::new();
+        r.push_event(TraceEvent {
+            name: "later".into(),
+            pid: 1,
+            tid: 0,
+            ts_ns: 5_000,
+            dur_ns: 1_000,
+        });
+        r.push_event(TraceEvent {
+            name: "earlier".into(),
+            pid: 1,
+            tid: 0,
+            ts_ns: 1_000,
+            dur_ns: 2_000,
+        });
+        let t = r.chrome_trace_json();
+        assert!(t.starts_with("{\"traceEvents\":["));
+        assert!(t.ends_with("]}"));
+        let earlier = t.find("earlier").unwrap();
+        let later = t.find("later").unwrap();
+        assert!(earlier < later, "events not time-sorted: {t}");
+        assert!(t.contains("\"ph\":\"X\""));
+        assert!(t.contains("\"ts\":1.000"));
+        assert!(t.contains("\"dur\":2.000"));
+    }
+
+    #[test]
+    fn metric_handles_are_shared() {
+        let r = Registry::new();
+        let c1 = r.counter("same");
+        let c2 = r.counter("same");
+        c1.add(1);
+        c2.add(2);
+        assert_eq!(r.counter("same").get(), 3);
+    }
+
+    #[test]
+    fn json_strings_escape_specials() {
+        assert_eq!(json_string("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+    }
+}

@@ -236,9 +236,7 @@ fn run_case(name: &str, case: u32, seed: u64, property: &mut impl FnMut(&mut Tes
             .map(String::as_str)
             .or_else(|| payload.downcast_ref::<&str>().copied())
             .unwrap_or("<non-string panic payload>");
-        panic!(
-            "property '{name}' failed at case {case} (replay with seed {seed:#018x}):\n{msg}"
-        );
+        panic!("property '{name}' failed at case {case} (replay with seed {seed:#018x}):\n{msg}");
     }
 }
 

@@ -173,7 +173,11 @@ impl VectorSet {
     /// Panics if `dim` is not divisible by `m`, or the indices are out of
     /// range.
     pub fn subvector(&self, i: usize, m: usize, j: usize) -> &[f32] {
-        assert!(self.dim.is_multiple_of(m), "dim {} not divisible by m {m}", self.dim);
+        assert!(
+            self.dim.is_multiple_of(m),
+            "dim {} not divisible by m {m}",
+            self.dim
+        );
         assert!(j < m, "sub-vector index {j} out of range for m {m}");
         let sub = self.dim / m;
         let row = self.row(i);

@@ -16,8 +16,7 @@ fn f16_round_trip_error_bounded() {
     forall("f16 round trip error bounded", 256, |rng| {
         let v = finite_f32(rng);
         let r = f16::round_trip(v);
-        let tol =
-            v.abs().max(f32::from(anna_vector::F16::from_bits(0x0400))) * 2.0f32.powi(-11);
+        let tol = v.abs().max(f32::from(anna_vector::F16::from_bits(0x0400))) * 2.0f32.powi(-11);
         assert!((r - v).abs() <= tol.max(2.0f32.powi(-24)), "v={v} r={r}");
     });
 }

@@ -99,11 +99,7 @@ impl Criterion {
     }
 
     /// Benches a single function outside a group.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(
-        &mut self,
-        name: &str,
-        f: F,
-    ) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
         run_one(name, self.iters, f);
         self
     }
@@ -151,7 +147,10 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, iters: u32, mut f: F) {
     f(&mut b);
     let sample = LAST_SAMPLE.with(|s| s.take());
     match sample {
-        Some(d) => eprintln!("bench {label}: {:.3} ms (median of {iters})", d.as_secs_f64() * 1e3),
+        Some(d) => eprintln!(
+            "bench {label}: {:.3} ms (median of {iters})",
+            d.as_secs_f64() * 1e3
+        ),
         None => eprintln!("bench {label}: no iter() call"),
     }
 }
