@@ -199,14 +199,17 @@ pub fn calibrate(vectors: usize, m: usize) -> CpuKernelRates {
         let ids: Vec<u64> = (0..data.len() as u64).collect();
         let q: Vec<f32> = (0..dim).map(|i| (i % 3) as f32).collect();
         let lut = Lut::build_ip(&q, &book, LutPrecision::F32);
-        // Warm up, then time several passes.
+        // Warm up, then time several passes; one scratch across all passes
+        // so the timing loop stays allocation-free, as production scans do.
+        let dispatch = kernels::KernelDispatch::current();
+        let mut scratch = kernels::ScanScratch::new();
         let mut top = TopK::new(10);
-        kernels::scan(&codes, &ids, &lut, &mut top);
+        kernels::scan_with(&codes, &ids, &lut, &mut top, dispatch, &mut scratch);
         let passes = 20;
         let start = std::time::Instant::now();
         for _ in 0..passes {
             let mut top = TopK::new(10);
-            kernels::scan(&codes, &ids, &lut, &mut top);
+            kernels::scan_with(&codes, &ids, &lut, &mut top, dispatch, &mut scratch);
         }
         let secs = start.elapsed().as_secs_f64().max(1e-9);
         out[slot] = (passes * data.len() * m) as f64 / secs;

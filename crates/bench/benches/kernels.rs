@@ -2,7 +2,7 @@
 //! from: the u4/u8 ADC scan kernels and LUT construction. These are the
 //! measured counterparts of `anna_baseline::cpu::calibrate`.
 
-use anna_index::{kernels, Lut, LutPrecision};
+use anna_index::{kernels, KernelDispatch, Lut, LutPrecision, ScanScratch};
 use anna_quant::pq::{PqCodebook, PqConfig};
 use anna_vector::{TopK, VectorSet};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
@@ -29,13 +29,16 @@ fn scan_kernels(c: &mut Criterion) {
         let codes = book.encode_all(&data);
         let ids: Vec<u64> = (0..n as u64).collect();
         let lut = Lut::build_ip(&q, &book, LutPrecision::F32);
-        group.bench_function(format!("scan_k{kstar}"), |b| {
-            b.iter(|| {
-                let mut top = TopK::new(100);
-                kernels::scan(&codes, &ids, &lut, &mut top);
-                top
-            })
-        });
+        for dispatch in KernelDispatch::available() {
+            let mut scratch = ScanScratch::new();
+            group.bench_function(format!("scan_k{kstar}_{}", dispatch.name()), |b| {
+                b.iter(|| {
+                    let mut top = TopK::new(100);
+                    kernels::scan_with(&codes, &ids, &lut, &mut top, dispatch, &mut scratch);
+                    top
+                })
+            });
+        }
         group.bench_function(format!("lut_build_k{kstar}"), |b| {
             b.iter(|| Lut::build_ip(&q, &book, LutPrecision::F32))
         });

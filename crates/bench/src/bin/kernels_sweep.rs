@@ -1,0 +1,68 @@
+//! Times every scan-kernel dispatch runnable on this host over `k* = 16`
+//! and `k* = 256` codes, printing codes/sec, effective GB/s and the
+//! speedup over the seed scalar path, and writing
+//! `reports/kernels_sweep.json`. Every point is cross-checked to return a
+//! bit-identical top-k to the scalar reference.
+//!
+//! `--smoke` shrinks the run for CI; `--telemetry <path>` writes a metric
+//! snapshot with per-point `kernel.*` counters.
+
+use anna_bench::{kernels_sweep, write_report};
+use anna_telemetry::Telemetry;
+
+fn main() {
+    let mut smoke = false;
+    let mut telemetry_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--telemetry" => match args.next() {
+                Some(p) => telemetry_path = Some(p),
+                None => {
+                    eprintln!("--telemetry requires a path argument");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: kernels_sweep [--smoke] [--telemetry <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let tel = if telemetry_path.is_some() {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+
+    let (n, passes) = if smoke { (20_000, 3) } else { (200_000, 20) };
+    eprintln!("sweeping scan kernels over {n} codes x {passes} passes per point");
+    let sweep = kernels_sweep::run_traced(n, passes, &tel);
+    print!("{}", sweep.render());
+    if let Some(best16) = sweep.best_speedup_at(16) {
+        eprintln!("best k*=16 speedup over scalar: {best16:.2}x");
+    }
+    for p in &sweep.points {
+        if !p.identical_to_scalar {
+            eprintln!(
+                "FAIL: dispatch {} k*={} diverged from the scalar reference",
+                p.dispatch, p.kstar
+            );
+            std::process::exit(1);
+        }
+    }
+    match write_report("kernels_sweep", &sweep.to_json()) {
+        Ok(path) => eprintln!("report written to {}", path.display()),
+        Err(e) => eprintln!("could not write report: {e}"),
+    }
+    if let Some(path) = telemetry_path {
+        let snapshot = tel.snapshot_json().expect("telemetry was enabled");
+        if let Err(e) = std::fs::write(&path, snapshot) {
+            eprintln!("could not write telemetry snapshot to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("telemetry snapshot written to {path}");
+    }
+}

@@ -14,6 +14,8 @@
 //! | [`timeline`] / `--bin timeline` | Figure 7: steady-state execution timeline |
 //! | [`related`] / `--bin related_work` | §VI comparison points |
 //! | `--bin calibrate` | host kernel-rate measurement for the CPU model |
+//! | [`kernels_sweep`] / `--bin kernels_sweep` | scan-kernel dispatch sweep (codes/sec, GB/s) |
+//! | [`threads_sweep`] / `--bin threads_sweep` | worker-count scaling of the batch engine |
 //! | `--bin runall` | everything above, writing `reports/*.json` |
 //!
 //! Binaries accept `--full` for the full-scale profile (see
@@ -30,6 +32,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod harness;
 pub mod json;
+pub mod kernels_sweep;
 pub mod related;
 pub mod scale;
 pub mod table1;

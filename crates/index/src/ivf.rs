@@ -464,6 +464,9 @@ impl IvfPqIndex {
             stats.luts_built += 1;
         }
 
+        let dispatch = kernels::KernelDispatch::current();
+        let mut scratch = kernels::ScanScratch::new();
+        let mut tally = kernels::ScanTally::default();
         {
             let _span = tel.span("search.scan");
             for cid in selected {
@@ -481,10 +484,21 @@ impl IvfPqIndex {
                 stats.clusters_scanned += 1;
                 stats.codes_scanned += cluster.len() as u64;
                 stats.code_bytes_read += cluster.encoded_bytes();
-                kernels::scan(&cluster.codes, &cluster.ids, &lut, &mut top);
+                let t = kernels::scan_with(
+                    &cluster.codes,
+                    &cluster.ids,
+                    &lut,
+                    &mut top,
+                    dispatch,
+                    &mut scratch,
+                );
+                tally.accumulate(&t);
             }
         }
 
+        tel.counter_add(&format!("kernel.dispatch.{}", dispatch.name()), 1);
+        tel.counter_add("kernel.codes_scanned", tally.scanned);
+        tel.counter_add("kernel.pruned", tally.pruned);
         tel.counter_add("search.queries", 1);
         tel.counter_add("search.centroids_scored", stats.centroids_scored);
         tel.counter_add("search.clusters_scanned", stats.clusters_scanned);

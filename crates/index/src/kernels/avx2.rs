@@ -1,0 +1,189 @@
+//! AVX2 LUT16 kernel: `k* = 16` codes scored 32 per iteration from
+//! register-resident tables.
+//!
+//! Faiss16/ScaNN16 are fast on CPUs because a 16-entry lookup table fits a
+//! vector register and is reachable by an in-register shuffle (`pshufb`,
+//! PAPER §II-C). Their kernels shuffle *quantized u8* entries; ours must
+//! stay bit-identical to the f32 scalar reference, so the same trick is
+//! done at f32 width: the 16 entries of table `i` live in two YMM
+//! registers and `vpermps` (`_mm256_permutevar8x32_ps`) + a high-half
+//! blend performs eight full-precision lookups per shuffle pair.
+//!
+//! # Layout and summation order
+//!
+//! The kernel is **vertical**: lane `l` of an accumulator owns vector
+//! `j + l`, and the subquantizers are walked in `i = 0..M` order, so every
+//! lane performs *exactly* the scalar reference's addition sequence
+//! (`((e_0 + e_1) + e_2) … + bias`) — scores are bit-identical by
+//! construction, not by tolerance. Four accumulators (32 lanes) amortize
+//! the two table loads per subquantizer.
+//!
+//! There is **no unpack/transpose pass**: each lane holds its vector's
+//! packed code row as whole dwords (one unaligned 32-byte load covers
+//! eight rows when `vector_bytes == 4`; a dword gather handles every
+//! other row width), and nibble `i` is extracted in-register with a
+//! variable shift + mask. The code stream is read once, already in the
+//! layout the heap stores it.
+
+#![cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+
+use crate::lut::Lut;
+use anna_quant::codes::{CodeWidth, PackedCodes};
+
+#[cfg(target_arch = "x86")]
+use std::arch::x86 as arch;
+#[cfg(target_arch = "x86_64")]
+use std::arch::x86_64 as arch;
+
+/// Most dwords of packed row the SIMD path keeps per lane (`m ≤ 62`
+/// covers every real configuration; wider rows take the scalar loop).
+const MAX_ROW_DWORDS: usize = 8;
+
+/// Scores vectors `[start, start + out.len())` of packed u4 codes into
+/// `out` with the AVX2 LUT16 kernel.
+///
+/// # Panics
+///
+/// Panics if the codes are not [`CodeWidth::U4`], the LUT is not
+/// 16-entry, or the range exceeds `codes.len()`.
+///
+/// Callers must have verified AVX2 support (the dispatch layer does);
+/// this function `unsafe`ly enables the feature internally.
+pub fn score_block_u4(codes: &PackedCodes, start: usize, lut: &Lut, out: &mut [f32]) {
+    assert_eq!(codes.width(), CodeWidth::U4);
+    assert_eq!(lut.kstar(), 16, "u4 kernel requires a 16-entry LUT");
+    let m = codes.m();
+    let vb = codes.vector_bytes();
+    assert!((start + out.len()) * vb <= codes.bytes().len());
+    // SAFETY: the dispatch layer only routes here after
+    // `is_x86_feature_detected!("avx2")` returned true.
+    unsafe { lut16_kernel(m, vb, codes.bytes(), start, lut.entries(), lut.bias(), out) }
+}
+
+/// The register-resident LUT16 loop. See the module docs for the lane
+/// layout; `bytes` is the full packed row-major code stream.
+///
+/// # Safety
+///
+/// The caller must ensure the host supports AVX2.
+#[target_feature(enable = "avx2")]
+unsafe fn lut16_kernel(
+    m: usize,
+    vb: usize,
+    bytes: &[u8],
+    start: usize,
+    entries: &[f32],
+    bias: f32,
+    out: &mut [f32],
+) {
+    use arch::*;
+
+    let count = out.len();
+    let seven = _mm256_set1_epi32(7);
+    let nib = _mm256_set1_epi32(0x0F);
+    // Byte offset of lane l's row relative to lane 0 (gather path).
+    let lane_off = _mm256_setr_epi32(
+        0,
+        vb as i32,
+        2 * vb as i32,
+        3 * vb as i32,
+        4 * vb as i32,
+        5 * vb as i32,
+        6 * vb as i32,
+        7 * vb as i32,
+    );
+    // Dwords per packed row; the last dword of a row may straddle into
+    // the next row (harmless — the shift/mask only keeps wanted nibbles)
+    // but must never read past the buffer, hence the bound check below.
+    let nd = vb.div_ceil(4);
+
+    /// Eight f32 lookups from dword nibble indices: shuffle both table
+    /// halves, select by `idx > 7`.
+    macro_rules! lookup8 {
+        ($idx:expr, $lo:expr, $hi:expr) => {{
+            let idx = $idx;
+            let from_lo = _mm256_permutevar8x32_ps($lo, idx);
+            let from_hi = _mm256_permutevar8x32_ps($hi, idx);
+            let is_hi = _mm256_castsi256_ps(_mm256_cmpgt_epi32(idx, seven));
+            _mm256_blendv_ps(from_lo, from_hi, is_hi)
+        }};
+    }
+
+    let mut j = 0;
+    if nd <= MAX_ROW_DWORDS {
+        while j + 32 <= count {
+            // Every dword read for this chunk ends by the last lane's row
+            // start plus 4·nd; stop if that would cross the buffer end
+            // (only possible for ragged row widths on the final rows —
+            // the scalar tail takes over).
+            if (start + j + 31) * vb + 4 * nd > bytes.len() {
+                break;
+            }
+            let base = (start + j) * vb;
+            // rows[g][d]: dword d of the packed rows of lanes g*8..g*8+8.
+            let mut rows = [[_mm256_setzero_si256(); MAX_ROW_DWORDS]; 4];
+            for (g, group) in rows.iter_mut().enumerate() {
+                let goff = base + 8 * g * vb;
+                for (d, slot) in group.iter_mut().take(nd).enumerate() {
+                    *slot = if vb == 4 {
+                        // Eight 4-byte rows are 32 contiguous bytes.
+                        _mm256_loadu_si256(bytes.as_ptr().add(goff) as *const __m256i)
+                    } else {
+                        _mm256_i32gather_epi32::<1>(
+                            bytes.as_ptr() as *const i32,
+                            _mm256_add_epi32(lane_off, _mm256_set1_epi32((goff + 4 * d) as i32)),
+                        )
+                    };
+                }
+            }
+
+            let mut acc0 = _mm256_setzero_ps();
+            let mut acc1 = _mm256_setzero_ps();
+            let mut acc2 = _mm256_setzero_ps();
+            let mut acc3 = _mm256_setzero_ps();
+            for i in 0..m {
+                let byte = i >> 1;
+                let d = byte >> 2;
+                // Nibble i sits at bit 8·(byte % 4) + 4·(i % 2) of dword d
+                // (low nibble first, matching PackedCodes).
+                let shift = _mm_cvtsi32_si128((8 * (byte & 3) + 4 * (i & 1)) as i32);
+                // Table i, resident in two registers for all 32 lanes.
+                let t = entries.as_ptr().add(i * 16);
+                let lo = _mm256_loadu_ps(t);
+                let hi = _mm256_loadu_ps(t.add(8));
+                let i0 = _mm256_and_si256(_mm256_srl_epi32(rows[0][d], shift), nib);
+                let i1 = _mm256_and_si256(_mm256_srl_epi32(rows[1][d], shift), nib);
+                let i2 = _mm256_and_si256(_mm256_srl_epi32(rows[2][d], shift), nib);
+                let i3 = _mm256_and_si256(_mm256_srl_epi32(rows[3][d], shift), nib);
+                acc0 = _mm256_add_ps(acc0, lookup8!(i0, lo, hi));
+                acc1 = _mm256_add_ps(acc1, lookup8!(i1, lo, hi));
+                acc2 = _mm256_add_ps(acc2, lookup8!(i2, lo, hi));
+                acc3 = _mm256_add_ps(acc3, lookup8!(i3, lo, hi));
+            }
+            let vbias = _mm256_set1_ps(bias);
+            let o = out.as_mut_ptr().add(j);
+            _mm256_storeu_ps(o, _mm256_add_ps(acc0, vbias));
+            _mm256_storeu_ps(o.add(8), _mm256_add_ps(acc1, vbias));
+            _mm256_storeu_ps(o.add(16), _mm256_add_ps(acc2, vbias));
+            _mm256_storeu_ps(o.add(24), _mm256_add_ps(acc3, vbias));
+            j += 32;
+        }
+    }
+
+    // Tail: scalar over the packed rows, same i-ascending order.
+    let pairs = m / 2;
+    while j < count {
+        let o = (start + j) * vb;
+        let row = &bytes[o..o + vb];
+        let mut sum = 0.0f32;
+        for (b, &byte) in row.iter().take(pairs).enumerate() {
+            sum += entries[(2 * b) * 16 + (byte & 0x0F) as usize];
+            sum += entries[(2 * b + 1) * 16 + (byte >> 4) as usize];
+        }
+        if m % 2 == 1 {
+            sum += entries[(m - 1) * 16 + (row[pairs] & 0x0F) as usize];
+        }
+        out[j] = sum + bias;
+        j += 1;
+    }
+}

@@ -1,0 +1,136 @@
+//! Runtime ISA dispatch for the ADC scan kernels.
+//!
+//! The kernel is selected **once per process** (cached in a `OnceLock`):
+//! `ANNA_FORCE_SCALAR` pins the seed scalar path for A/B tests and CI
+//! fallback coverage, otherwise AVX2 detection picks the in-register LUT16
+//! kernel, and hosts without AVX2 get the unrolled blocked kernel. Every
+//! path produces bit-identical scores (see the module docs of
+//! [`crate::kernels`] for the summation-order invariant), so dispatch is a
+//! pure throughput decision — never a correctness one.
+
+use std::sync::OnceLock;
+
+/// Which scan-kernel implementation to run.
+///
+/// All variants produce bit-identical scores and top-k sets; they differ
+/// only in instruction mix and memory behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelDispatch {
+    /// The seed scalar loops: one score at a time, every score pushed
+    /// through the top-k heap. The reference every other path must
+    /// reproduce bit-for-bit.
+    Scalar,
+    /// Block scoring with unrolled multi-accumulator scalar kernels (four
+    /// vectors in flight) plus the threshold-pruned selection pass. The
+    /// portable fast path — also what `k* = 256` uses under
+    /// [`KernelDispatch::Avx2`], since 256-entry tables cannot live in
+    /// vector registers (PAPER §II-C).
+    Blocked,
+    /// AVX2 LUT16 kernel for `k* = 16`: nibble codes scored 32 per
+    /// iteration from register-resident tables via `vpermps` shuffles
+    /// (the f32 analogue of the `pshufb` trick Faiss16/ScaNN16 use).
+    /// `k* = 256` codes fall back to the blocked kernel.
+    Avx2,
+}
+
+impl KernelDispatch {
+    /// Stable lowercase name, used for telemetry counter labels
+    /// (`kernel.dispatch.<name>`) and report keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelDispatch::Scalar => "scalar",
+            KernelDispatch::Blocked => "blocked",
+            KernelDispatch::Avx2 => "avx2",
+        }
+    }
+
+    /// Every dispatch runnable on this host, scalar first — what the
+    /// property tests and `kernels_sweep` iterate over.
+    pub fn available() -> Vec<KernelDispatch> {
+        let mut v = vec![KernelDispatch::Scalar, KernelDispatch::Blocked];
+        if avx2_supported() {
+            v.push(KernelDispatch::Avx2);
+        }
+        v
+    }
+
+    /// The pure selection rule, separated from environment/CPU probing so
+    /// it can be unit-tested exhaustively.
+    fn resolve(force_scalar: bool, avx2: bool) -> KernelDispatch {
+        if force_scalar {
+            KernelDispatch::Scalar
+        } else if avx2 {
+            KernelDispatch::Avx2
+        } else {
+            KernelDispatch::Blocked
+        }
+    }
+
+    /// The process-wide dispatch: resolved on first use from
+    /// `ANNA_FORCE_SCALAR` and CPU feature detection, then cached.
+    pub fn current() -> KernelDispatch {
+        static CURRENT: OnceLock<KernelDispatch> = OnceLock::new();
+        *CURRENT.get_or_init(|| KernelDispatch::resolve(env_force_scalar(), avx2_supported()))
+    }
+}
+
+/// Whether the host CPU supports AVX2 (always `false` off x86).
+pub(crate) fn avx2_supported() -> bool {
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
+    {
+        false
+    }
+}
+
+/// `ANNA_FORCE_SCALAR` semantics: set-and-nonempty-and-not-"0" forces the
+/// scalar path.
+fn env_force_scalar() -> bool {
+    std::env::var_os("ANNA_FORCE_SCALAR").is_some_and(|v| !v.is_empty() && v != *"0")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_prefers_force_scalar_over_everything() {
+        assert_eq!(KernelDispatch::resolve(true, true), KernelDispatch::Scalar);
+        assert_eq!(KernelDispatch::resolve(true, false), KernelDispatch::Scalar);
+    }
+
+    #[test]
+    fn resolve_picks_avx2_when_detected_else_blocked() {
+        assert_eq!(KernelDispatch::resolve(false, true), KernelDispatch::Avx2);
+        assert_eq!(
+            KernelDispatch::resolve(false, false),
+            KernelDispatch::Blocked
+        );
+    }
+
+    #[test]
+    fn available_always_contains_both_portable_paths() {
+        let avail = KernelDispatch::available();
+        assert!(avail.contains(&KernelDispatch::Scalar));
+        assert!(avail.contains(&KernelDispatch::Blocked));
+        // Avx2 membership must agree with host detection.
+        assert_eq!(avail.contains(&KernelDispatch::Avx2), avx2_supported());
+    }
+
+    #[test]
+    fn current_is_stable_and_available() {
+        let first = KernelDispatch::current();
+        assert_eq!(first, KernelDispatch::current());
+        assert!(KernelDispatch::available().contains(&first));
+    }
+
+    #[test]
+    fn names_are_stable_telemetry_labels() {
+        assert_eq!(KernelDispatch::Scalar.name(), "scalar");
+        assert_eq!(KernelDispatch::Blocked.name(), "blocked");
+        assert_eq!(KernelDispatch::Avx2.name(), "avx2");
+    }
+}

@@ -1,0 +1,659 @@
+//! ADC scan kernels: score every encoded vector of a cluster against a
+//! query's LUT and feed a top-k selector.
+//!
+//! # Architecture: dispatch → block score → select
+//!
+//! The scan is a three-layer subsystem:
+//!
+//! 1. **Runtime ISA dispatch** ([`KernelDispatch`]) — selected once per
+//!    process: an AVX2 LUT16 kernel for `k* = 16` ([`self`] module
+//!    `avx2`; nibble codes scored 32 per iteration from register-resident
+//!    tables), an unrolled multi-accumulator blocked kernel for `k* = 256`
+//!    (`blocked`), and the seed scalar loops (`scalar`) as reference and
+//!    `ANNA_FORCE_SCALAR` fallback.
+//! 2. **Block scoring** — kernels write a tile of [`TILE`] scores into a
+//!    reusable [`ScanScratch`], so the hot loop is allocation-free and
+//!    branch-free.
+//! 3. **Threshold-pruned selection** — a separate pass inserts into
+//!    [`TopK`] only scores passing `score >= top.threshold()`, turning
+//!    O(n log k) heap traffic into a branch-predictable filter (almost
+//!    every score in a warm scan loses to the current worst). The filter
+//!    is exact, not approximate: candidates *at* the threshold are still
+//!    offered (the equal-score/lower-id tie-break can evict the current
+//!    worst), and NaN fails the comparison just as [`TopK::push`] rejects
+//!    it.
+//!
+//! # The summation-order invariant
+//!
+//! Every dispatch path computes each vector's score with the **identical
+//! f32 addition sequence**: table entries accumulated in subquantizer
+//! order `i = 0..M` into one accumulator per vector, bias added last.
+//! SIMD kernels are vertical (one vector per lane) and blocked kernels
+//! give each in-flight vector its own accumulator, so no path reassociates
+//! a sum. Scores are therefore bit-identical across dispatches — and the
+//! parallel engine's serial-equals-parallel determinism guarantee survives
+//! kernel selection.
+//!
+//! The two code widths mirror the paper's CPU story: `k* = 16`
+//! (Faiss16/ScaNN16) is fast because the 16-entry LUT fits vector
+//! registers; `k* = 256` (Faiss256) cannot, which is why the paper finds
+//! it slow on CPUs (§II-C/§II-D).
+
+mod blocked;
+pub mod dispatch;
+mod scalar;
+
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+mod avx2;
+
+pub use dispatch::KernelDispatch;
+pub use scalar::{scan_u4, scan_u8};
+
+use crate::lut::Lut;
+use anna_quant::codes::{CodeWidth, PackedCodes};
+use anna_vector::TopK;
+
+/// Vectors scored per block: large enough to amortize the selection pass
+/// and keep the SIMD main loop busy, small enough that the score tile
+/// stays L1-resident.
+pub const TILE: usize = 256;
+
+/// Reusable scratch for the block-scoring path: the score tile plus the
+/// packed-row unpack buffer the scalar scorer uses. Thread one instance
+/// through a scan loop (per worker, per search) and the hot path performs
+/// zero allocations after warm-up.
+#[derive(Debug, Default, Clone)]
+pub struct ScanScratch {
+    scores: Vec<f32>,
+    groups: Vec<u8>,
+}
+
+impl ScanScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grows (never shrinks) and hands out the score tile and identifier
+    /// scratch for an `m`-subquantizer block of `count` vectors.
+    fn buffers(&mut self, m: usize, count: usize) -> (&mut [f32], &mut [u8]) {
+        if self.scores.len() < count {
+            self.scores.resize(count, 0.0);
+        }
+        let need = m * count;
+        if self.groups.len() < need {
+            self.groups.resize(need, 0);
+        }
+        (&mut self.scores[..count], &mut self.groups[..need])
+    }
+}
+
+/// Work counters returned by a scan: how many codes were scored and how
+/// many were pruned by the threshold filter before touching the heap.
+/// Feeds the `kernel.codes_scanned` / `kernel.pruned` telemetry counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScanTally {
+    /// Encoded vectors scored.
+    pub scanned: u64,
+    /// Scores rejected by the threshold filter without a heap push.
+    /// Schedule-dependent (the threshold tightens as the scan proceeds),
+    /// so this is a telemetry quantity, not a determinism-checked one.
+    pub pruned: u64,
+}
+
+impl ScanTally {
+    /// Adds another tally into this one.
+    pub fn accumulate(&mut self, other: &ScanTally) {
+        self.scanned += other.scanned;
+        self.pruned += other.pruned;
+    }
+}
+
+/// Scans packed codes against `lut`, pushing `(ids[i], score)` into `top`.
+///
+/// Convenience wrapper over [`scan_with`] using the process-wide
+/// [`KernelDispatch::current`] and a local scratch; production loops that
+/// scan many clusters should hold a [`ScanScratch`] and call
+/// [`scan_with`] to keep the hot path allocation-free.
+///
+/// # Panics
+///
+/// Panics if `ids.len() != codes.len()` or the LUT shape does not match
+/// the codes.
+pub fn scan(codes: &PackedCodes, ids: &[u64], lut: &Lut, top: &mut TopK) -> ScanTally {
+    let mut scratch = ScanScratch::new();
+    scan_with(
+        codes,
+        ids,
+        lut,
+        top,
+        KernelDispatch::current(),
+        &mut scratch,
+    )
+}
+
+/// Scans packed codes under an explicit dispatch with caller-owned
+/// scratch — the production entry point.
+///
+/// [`KernelDispatch::Scalar`] runs the seed path (per-score heap push);
+/// the other dispatches run block scoring plus the threshold-pruned
+/// selection pass. All produce bit-identical `top` contents (see the
+/// module docs).
+///
+/// # Panics
+///
+/// Panics if `ids.len() != codes.len()`, the LUT table count does not
+/// match the codes, or u4 codes meet a non-16-entry LUT.
+pub fn scan_with(
+    codes: &PackedCodes,
+    ids: &[u64],
+    lut: &Lut,
+    top: &mut TopK,
+    dispatch: KernelDispatch,
+    scratch: &mut ScanScratch,
+) -> ScanTally {
+    assert_eq!(ids.len(), codes.len(), "id/code count mismatch");
+    assert_eq!(codes.m(), lut.m(), "LUT table count mismatch");
+    let n = codes.len();
+    let mut tally = ScanTally {
+        scanned: n as u64,
+        pruned: 0,
+    };
+
+    if dispatch == KernelDispatch::Scalar {
+        match codes.width() {
+            CodeWidth::U8 => scalar::scan_u8(codes, ids, lut, top),
+            CodeWidth::U4 => scalar::scan_u4(codes, ids, lut, top),
+        }
+        return tally;
+    }
+
+    let m = codes.m();
+    let mut start = 0;
+    while start < n {
+        let count = (n - start).min(TILE);
+        let (scores, groups) = scratch.buffers(m, count);
+        score_block(codes, start, lut, dispatch, groups, &mut scores[..count]);
+
+        // Selection: only scores that can still enter the top-k pay the
+        // heap. `>=` (not `>`) keeps the equal-score/lower-id tie-break
+        // exact; the threshold is refreshed only after a successful push
+        // (a rejected push cannot change it).
+        let mut threshold = top.threshold();
+        for (j, &score) in scores[..count].iter().enumerate() {
+            if score >= threshold {
+                if top.push(ids[start + j], score) {
+                    threshold = top.threshold();
+                }
+            } else {
+                tally.pruned += 1;
+            }
+        }
+        start += count;
+    }
+    tally
+}
+
+/// Fills `out` with the scores of vectors `[start, start + out.len())`
+/// under `dispatch`. `groups` must hold `m * out.len()` bytes.
+fn score_block(
+    codes: &PackedCodes,
+    start: usize,
+    lut: &Lut,
+    dispatch: KernelDispatch,
+    groups: &mut [u8],
+    out: &mut [f32],
+) {
+    match (dispatch, codes.width()) {
+        (KernelDispatch::Scalar, _) => scalar::score_block(codes, start, lut, groups, out),
+        (_, CodeWidth::U8) => blocked::score_block_u8(codes, start, lut, out),
+        (KernelDispatch::Blocked, CodeWidth::U4) => blocked::score_block_u4(codes, start, lut, out),
+        (KernelDispatch::Avx2, CodeWidth::U4) => {
+            #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+            {
+                avx2::score_block_u4(codes, start, lut, out)
+            }
+            #[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
+            {
+                blocked::score_block_u4(codes, start, lut, out)
+            }
+        }
+    }
+}
+
+/// Scores a cluster without top-k, returning raw scores (used by tests and
+/// by the simulator's functional cross-checks).
+///
+/// Routed through the same block-scoring path as production scans (with
+/// the process-wide dispatch), so a cross-check exercises the code that
+/// actually runs — and the packed-row scratch is reused across the whole
+/// cluster instead of being allocated per vector.
+pub fn score_all(codes: &PackedCodes, lut: &Lut) -> Vec<f32> {
+    let mut scratch = ScanScratch::new();
+    score_all_with(codes, lut, KernelDispatch::current(), &mut scratch)
+}
+
+/// [`score_all`] under an explicit dispatch with caller-owned scratch.
+///
+/// # Panics
+///
+/// Panics if the LUT shape does not match the codes.
+pub fn score_all_with(
+    codes: &PackedCodes,
+    lut: &Lut,
+    dispatch: KernelDispatch,
+    scratch: &mut ScanScratch,
+) -> Vec<f32> {
+    assert_eq!(codes.m(), lut.m(), "LUT table count mismatch");
+    let n = codes.len();
+    let m = codes.m();
+    let mut out = vec![0.0f32; n];
+    let mut start = 0;
+    while start < n {
+        let count = (n - start).min(TILE);
+        let (_, groups) = scratch.buffers(m, count);
+        score_block(
+            codes,
+            start,
+            lut,
+            dispatch,
+            groups,
+            &mut out[start..start + count],
+        );
+        start += count;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lut::LutPrecision;
+    use anna_quant::pq::{PqCodebook, PqConfig};
+    use anna_vector::VectorSet;
+
+    fn setup(kstar: usize, m: usize) -> (PqCodebook, PackedCodes, Vec<u64>, Lut) {
+        let dim = m * 2;
+        let data = VectorSet::from_fn(dim, 128, |r, c| ((r * 17 + c * 3) % 23) as f32);
+        let book = PqCodebook::train(
+            &data,
+            &PqConfig {
+                m,
+                kstar,
+                iters: 6,
+                seed: 1,
+            },
+        );
+        let codes = book.encode_all(&data);
+        let ids: Vec<u64> = (0..data.len() as u64).collect();
+        let q: Vec<f32> = (0..dim).map(|i| (i % 5) as f32).collect();
+        let lut = Lut::build_ip(&q, &book, LutPrecision::F32);
+        (book, codes, ids, lut)
+    }
+
+    #[test]
+    fn u8_kernel_matches_reference_scores() {
+        let (_, codes, ids, lut) = setup(256, 4);
+        let mut top = TopK::new(codes.len());
+        scan(&codes, &ids, &lut, &mut top);
+        let hits = top.into_sorted_vec();
+        let reference = score_all(&codes, &lut);
+        for h in hits {
+            assert_eq!(h.score, reference[h.id as usize]);
+        }
+    }
+
+    #[test]
+    fn u4_kernel_matches_reference_scores() {
+        let (_, codes, ids, lut) = setup(16, 4);
+        assert_eq!(codes.width(), CodeWidth::U4);
+        let mut top = TopK::new(codes.len());
+        scan(&codes, &ids, &lut, &mut top);
+        let hits = top.into_sorted_vec();
+        let reference = score_all(&codes, &lut);
+        for h in hits {
+            assert_eq!(h.score, reference[h.id as usize]);
+        }
+    }
+
+    #[test]
+    fn u4_kernel_handles_odd_m() {
+        let dim = 6;
+        let data = VectorSet::from_fn(dim, 64, |r, c| ((r * 7 + c) % 9) as f32);
+        let book = PqCodebook::train(
+            &data,
+            &PqConfig {
+                m: 3,
+                kstar: 16,
+                iters: 4,
+                seed: 0,
+            },
+        );
+        let codes = book.encode_all(&data);
+        let ids: Vec<u64> = (0..64).collect();
+        let q = vec![1.0f32; dim];
+        let lut = Lut::build_ip(&q, &book, LutPrecision::F32);
+        let mut top = TopK::new(64);
+        scan(&codes, &ids, &lut, &mut top);
+        let reference = score_all(&codes, &lut);
+        for h in top.into_sorted_vec() {
+            assert_eq!(h.score, reference[h.id as usize]);
+        }
+    }
+
+    #[test]
+    fn kernel_respects_global_ids() {
+        let (_, codes, _, lut) = setup(16, 4);
+        let ids: Vec<u64> = (0..codes.len() as u64).map(|i| i + 1_000_000).collect();
+        let mut top = TopK::new(5);
+        scan(&codes, &ids, &lut, &mut top);
+        for h in top.into_sorted_vec() {
+            assert!(h.id >= 1_000_000);
+        }
+    }
+
+    /// Scalar reference scorer: plain nested loop over `lut.get`, no
+    /// packing tricks — the oracle every dispatch must reproduce exactly
+    /// (same summation order, so scores must match bit for bit).
+    fn scalar_reference(codes: &PackedCodes, lut: &Lut) -> Vec<f32> {
+        let mut buf = vec![0u8; codes.m()];
+        (0..codes.len())
+            .map(|v| {
+                codes.read_into(v, &mut buf);
+                let mut sum = 0.0f32;
+                for (i, &c) in buf.iter().enumerate() {
+                    sum += lut.get(i, c as usize);
+                }
+                sum + lut.bias()
+            })
+            .collect()
+    }
+
+    /// Random codes need not come from any encoder; the kernels must score
+    /// arbitrary identifiers below `bound` (the LUT's `k*`, which can be
+    /// smaller than the configured one when training data is scarce).
+    fn random_codes(
+        rng: &mut anna_testkit::TestRng,
+        m: usize,
+        width: CodeWidth,
+        bound: u8,
+        n: usize,
+    ) -> PackedCodes {
+        let mut packed = PackedCodes::new(m, width);
+        for _ in 0..n {
+            let row = rng.vec_u8(m, bound);
+            packed.push(&row);
+        }
+        packed
+    }
+
+    #[test]
+    fn u4_kernel_matches_scalar_reference_on_random_codes() {
+        let (_, _, _, lut) = setup(16, 4);
+        anna_testkit::forall("u4 kernel matches scalar reference", 32, |rng| {
+            let n = rng.usize(1..120);
+            let codes = random_codes(rng, 4, CodeWidth::U4, 16, n);
+            let ids: Vec<u64> = (0..n as u64).collect();
+            let mut top = TopK::new(n);
+            scan_u4(&codes, &ids, &lut, &mut top);
+            let want = scalar_reference(&codes, &lut);
+            let hits = top.into_sorted_vec();
+            assert_eq!(hits.len(), n);
+            for h in hits {
+                assert_eq!(h.score.to_bits(), want[h.id as usize].to_bits());
+            }
+        });
+    }
+
+    #[test]
+    fn u8_kernel_matches_scalar_reference_on_random_codes() {
+        let (_, _, _, lut) = setup(256, 4);
+        anna_testkit::forall("u8 kernel matches scalar reference", 32, |rng| {
+            let n = rng.usize(1..120);
+            let codes = random_codes(rng, 4, CodeWidth::U8, lut.kstar() as u8, n);
+            let ids: Vec<u64> = (0..n as u64).collect();
+            let mut top = TopK::new(n);
+            scan_u8(&codes, &ids, &lut, &mut top);
+            let want = scalar_reference(&codes, &lut);
+            let hits = top.into_sorted_vec();
+            assert_eq!(hits.len(), n);
+            for h in hits {
+                assert_eq!(h.score.to_bits(), want[h.id as usize].to_bits());
+            }
+        });
+    }
+
+    #[test]
+    fn u4_kernel_matches_scalar_reference_with_odd_m() {
+        let dim = 6;
+        let data = VectorSet::from_fn(dim, 64, |r, c| ((r * 7 + c) % 9) as f32);
+        let book = PqCodebook::train(
+            &data,
+            &PqConfig {
+                m: 3,
+                kstar: 16,
+                iters: 4,
+                seed: 0,
+            },
+        );
+        let q = vec![0.5f32; dim];
+        let lut = Lut::build_ip(&q, &book, LutPrecision::F32);
+        anna_testkit::forall("u4 kernel odd m scalar reference", 16, |rng| {
+            let n = rng.usize(1..60);
+            let codes = random_codes(rng, 3, CodeWidth::U4, 16, n);
+            let ids: Vec<u64> = (0..n as u64).collect();
+            let mut top = TopK::new(n);
+            scan_u4(&codes, &ids, &lut, &mut top);
+            let want = scalar_reference(&codes, &lut);
+            for h in top.into_sorted_vec() {
+                assert_eq!(h.score.to_bits(), want[h.id as usize].to_bits());
+            }
+        });
+    }
+
+    #[test]
+    fn every_dispatch_fills_identical_top_k() {
+        // Small k on a big candidate set, so the threshold filter actually
+        // prunes — the pruned path must still keep the exact top-k set.
+        let (_, codes, ids, lut) = setup(16, 4);
+        let mut scalar_top = TopK::new(5);
+        let mut scratch = ScanScratch::new();
+        scan_with(
+            &codes,
+            &ids,
+            &lut,
+            &mut scalar_top,
+            KernelDispatch::Scalar,
+            &mut scratch,
+        );
+        let want = scalar_top.into_sorted_vec();
+        for dispatch in KernelDispatch::available() {
+            let mut top = TopK::new(5);
+            let tally = scan_with(&codes, &ids, &lut, &mut top, dispatch, &mut scratch);
+            assert_eq!(tally.scanned, codes.len() as u64);
+            assert_eq!(
+                top.into_sorted_vec(),
+                want,
+                "dispatch {} diverged",
+                dispatch.name()
+            );
+        }
+    }
+
+    #[test]
+    fn pruned_scores_never_exceed_scanned() {
+        let (_, codes, ids, lut) = setup(16, 4);
+        let mut scratch = ScanScratch::new();
+        let mut top = TopK::new(3);
+        let tally = scan_with(
+            &codes,
+            &ids,
+            &lut,
+            &mut top,
+            KernelDispatch::Blocked,
+            &mut scratch,
+        );
+        assert_eq!(tally.scanned, codes.len() as u64);
+        assert!(tally.pruned <= tally.scanned);
+        // With k=3 over 128 near-duplicate-free scores, most must prune.
+        assert!(tally.pruned > 0, "threshold filter never engaged");
+    }
+
+    #[test]
+    fn score_all_matches_per_dispatch_reference() {
+        for (kstar, m) in [(16usize, 4usize), (256, 4), (16, 3)] {
+            let (_, codes, _, lut) = if m == 3 {
+                let dim = 6;
+                let data = VectorSet::from_fn(dim, 80, |r, c| ((r * 7 + c) % 9) as f32);
+                let book = PqCodebook::train(
+                    &data,
+                    &PqConfig {
+                        m,
+                        kstar,
+                        iters: 4,
+                        seed: 0,
+                    },
+                );
+                let codes = book.encode_all(&data);
+                let q = vec![1.0f32; dim];
+                let lut = Lut::build_ip(&q, &book, LutPrecision::F32);
+                (book, codes, Vec::new(), lut)
+            } else {
+                setup(kstar, m)
+            };
+            let want = scalar_reference(&codes, &lut);
+            let mut scratch = ScanScratch::new();
+            for dispatch in KernelDispatch::available() {
+                let got = score_all_with(&codes, &lut, dispatch, &mut scratch);
+                assert_eq!(got.len(), want.len());
+                for (v, (g, w)) in got.iter().zip(&want).enumerate() {
+                    assert_eq!(
+                        g.to_bits(),
+                        w.to_bits(),
+                        "kstar={kstar} m={m} dispatch={} vector {v}",
+                        dispatch.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_shapes() {
+        // One scratch across changing m/width/len must never corrupt
+        // results (buffers grow monotonically and are fully rewritten).
+        let mut scratch = ScanScratch::new();
+        let (_, codes16, ids16, lut16) = setup(16, 4);
+        let (_, codes256, ids256, lut256) = setup(256, 6);
+        for _ in 0..3 {
+            for dispatch in KernelDispatch::available() {
+                let mut a = TopK::new(7);
+                scan_with(&codes256, &ids256, &lut256, &mut a, dispatch, &mut scratch);
+                let mut b = TopK::new(7);
+                scan_with(&codes16, &ids16, &lut16, &mut b, dispatch, &mut scratch);
+                let ra = scalar_reference(&codes256, &lut256);
+                for h in a.into_sorted_vec() {
+                    assert_eq!(h.score.to_bits(), ra[h.id as usize].to_bits());
+                }
+                let rb = scalar_reference(&codes16, &lut16);
+                for h in b.into_sorted_vec() {
+                    assert_eq!(h.score.to_bits(), rb[h.id as usize].to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_larger_than_tile_are_scored_correctly() {
+        // > TILE vectors forces multiple blocks (and a ragged tail).
+        let n = TILE * 2 + 37;
+        let (_, _, _, lut) = setup(16, 4);
+        let mut rng = anna_testkit::TestRng::new(11);
+        let codes = random_codes(&mut rng, 4, CodeWidth::U4, 16, n);
+        let ids: Vec<u64> = (0..n as u64).collect();
+        let want = scalar_reference(&codes, &lut);
+        let mut scratch = ScanScratch::new();
+        for dispatch in KernelDispatch::available() {
+            let mut top = TopK::new(n);
+            scan_with(&codes, &ids, &lut, &mut top, dispatch, &mut scratch);
+            let hits = top.into_sorted_vec();
+            assert_eq!(hits.len(), n);
+            for h in hits {
+                assert_eq!(
+                    h.score.to_bits(),
+                    want[h.id as usize].to_bits(),
+                    "dispatch {}",
+                    dispatch.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "id/code count mismatch")]
+    fn mismatched_id_count_panics() {
+        let (_, codes, mut ids, lut) = setup(16, 4);
+        ids.pop();
+        let mut top = TopK::new(4);
+        scan(&codes, &ids, &lut, &mut top);
+    }
+
+    #[test]
+    #[should_panic(expected = "LUT table count mismatch")]
+    fn mismatched_lut_table_count_panics() {
+        let (_, codes, ids, _) = setup(16, 4);
+        // A LUT with m = 2 tables against m = 4 codes.
+        let dim = 4;
+        let data = VectorSet::from_fn(dim, 64, |r, c| ((r * 5 + c) % 11) as f32);
+        let book = PqCodebook::train(
+            &data,
+            &PqConfig {
+                m: 2,
+                kstar: 16,
+                iters: 3,
+                seed: 0,
+            },
+        );
+        let wrong = Lut::build_ip(&vec![1.0; dim], &book, LutPrecision::F32);
+        let mut top = TopK::new(4);
+        scan(&codes, &ids, &wrong, &mut top);
+    }
+
+    #[test]
+    #[should_panic(expected = "u4 kernel requires a 16-entry LUT")]
+    fn u4_kernel_rejects_wide_lut() {
+        let (_, _, _, wide_lut) = setup(256, 4);
+        let mut rng = anna_testkit::TestRng::new(7);
+        let codes = random_codes(&mut rng, 4, CodeWidth::U4, 16, 8);
+        let ids: Vec<u64> = (0..8).collect();
+        let mut top = TopK::new(4);
+        scan_u4(&codes, &ids, &wide_lut, &mut top);
+    }
+
+    #[test]
+    #[should_panic]
+    fn u8_kernel_rejects_u4_codes() {
+        let (_, _, _, lut) = setup(16, 4);
+        let mut rng = anna_testkit::TestRng::new(9);
+        let codes = random_codes(&mut rng, 4, CodeWidth::U4, 16, 8);
+        let ids: Vec<u64> = (0..8).collect();
+        let mut top = TopK::new(4);
+        scan_u8(&codes, &ids, &lut, &mut top);
+    }
+
+    #[test]
+    fn bias_shifts_every_score() {
+        let (_, codes, ids, lut) = setup(16, 4);
+        let biased = lut.with_bias(100.0);
+        let mut a = TopK::new(3);
+        let mut b = TopK::new(3);
+        scan(&codes, &ids, &lut, &mut a);
+        scan(&codes, &ids, &biased, &mut b);
+        let av = a.into_sorted_vec();
+        let bv = b.into_sorted_vec();
+        for (x, y) in av.iter().zip(&bv) {
+            assert_eq!(x.id, y.id);
+            assert!((y.score - x.score - 100.0).abs() < 1e-3);
+        }
+    }
+}

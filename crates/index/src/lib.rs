@@ -60,6 +60,7 @@ pub mod parallel;
 pub use batched::{BatchStats, BatchedScan};
 pub use io::{read_index, write_index};
 pub use ivf::{IndexStats, IvfPqConfig, IvfPqIndex, SearchStats, Trainer};
+pub use kernels::{KernelDispatch, ScanScratch, ScanTally};
 pub use lut::{Lut, LutPrecision};
 pub use parallel::{crossbar_tiles, BatchExec, ClusterTile};
 

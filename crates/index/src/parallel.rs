@@ -136,10 +136,14 @@ impl BatchExec {
 }
 
 /// Per-worker accumulator: one optional [`TopK`] per batch query plus the
-/// worker's share of the traffic statistics.
+/// worker's share of the traffic statistics, the worker's scan-kernel
+/// tally, and the reusable kernel scratch that keeps the hot loop
+/// allocation-free across every tile the worker drains.
 struct TileAccum {
     tops: Vec<Option<TopK>>,
     stats: BatchStats,
+    tally: kernels::ScanTally,
+    scratch: kernels::ScanScratch,
 }
 
 impl TileAccum {
@@ -147,6 +151,8 @@ impl TileAccum {
         Self {
             tops: (0..nq).map(|_| None).collect(),
             stats: BatchStats::default(),
+            tally: kernels::ScanTally::default(),
+            scratch: kernels::ScanScratch::new(),
         }
     }
 
@@ -160,6 +166,7 @@ impl TileAccum {
         params: &SearchParams,
         ip_base: Option<&[Lut]>,
         tile: &ClusterTile,
+        dispatch: kernels::KernelDispatch,
     ) {
         let cluster = index.cluster(tile.cluster);
         let bytes = cluster.encoded_bytes();
@@ -179,7 +186,15 @@ impl TileAccum {
                 None => index.build_lut(q, tile.cluster, params),
             };
             let top = self.tops[qi].get_or_insert_with(|| TopK::new(params.k));
-            kernels::scan(&cluster.codes, &cluster.ids, &lut, top);
+            let tally = kernels::scan_with(
+                &cluster.codes,
+                &cluster.ids,
+                &lut,
+                top,
+                dispatch,
+                &mut self.scratch,
+            );
+            self.tally.accumulate(&tally);
         }
     }
 }
@@ -192,7 +207,8 @@ impl TileAccum {
 /// loop never touches the registry, so instrumentation cannot perturb the
 /// tile race (and the output is schedule-invariant anyway, see the module
 /// docs). Per worker this records `worker<w>.tiles` /
-/// `worker<w>.busy_ns` / `worker<w>.idle_ns` counters plus one
+/// `worker<w>.busy_ns` / `worker<w>.idle_ns` counters, the worker's share
+/// of `kernel.codes_scanned` / `kernel.pruned`, plus one
 /// `batch.tile_scan` trace event per tile on thread lane `w`.
 #[allow(clippy::too_many_arguments)]
 fn drain_tiles(
@@ -203,6 +219,7 @@ fn drain_tiles(
     tiles: &[ClusterTile],
     cursor: &AtomicUsize,
     worker: u64,
+    dispatch: kernels::KernelDispatch,
     tel: &Telemetry,
 ) -> TileAccum {
     let mut acc = TileAccum::new(queries.len());
@@ -214,7 +231,7 @@ fn drain_tiles(
         let i = cursor.fetch_add(1, Ordering::Relaxed);
         let Some(tile) = tiles.get(i) else { break };
         let start = if timed { tel.now_ns() } else { 0 };
-        acc.score_tile(index, queries, params, ip_base, tile);
+        acc.score_tile(index, queries, params, ip_base, tile, dispatch);
         if timed {
             let dur = tel.now_ns().saturating_sub(start);
             busy += dur;
@@ -227,6 +244,8 @@ fn drain_tiles(
         per_worker.counter_add("tiles", windows.len() as u64);
         per_worker.counter_add("busy_ns", busy);
         per_worker.counter_add("idle_ns", total.saturating_sub(busy));
+        tel.counter_add("kernel.codes_scanned", acc.tally.scanned);
+        tel.counter_add("kernel.pruned", acc.tally.pruned);
         for (start, dur) in windows {
             tel.trace_event_ns("batch.tile_scan", worker, start, dur);
         }
@@ -263,10 +282,16 @@ pub(crate) fn execute_tiles(
         stats.accumulate(&acc.stats);
     };
 
+    let dispatch = kernels::KernelDispatch::current();
+    if tel.is_enabled() {
+        tel.counter_add(&format!("kernel.dispatch.{}", dispatch.name()), 1);
+    }
     let workers = threads.max(1).min(tiles.len().max(1));
     let cursor = AtomicUsize::new(0);
     if workers <= 1 {
-        let acc = drain_tiles(index, queries, params, ip_base, tiles, &cursor, 0, tel);
+        let acc = drain_tiles(
+            index, queries, params, ip_base, tiles, &cursor, 0, dispatch, tel,
+        );
         let _merge = tel.span("batch.merge");
         fold(acc, &mut merged, &mut stats);
     } else {
@@ -279,7 +304,7 @@ pub(crate) fn execute_tiles(
                 let (cursor, done) = (&cursor, &done);
                 s.spawn(move || {
                     let acc = drain_tiles(
-                        index, queries, params, ip_base, tiles, cursor, w as u64, tel,
+                        index, queries, params, ip_base, tiles, cursor, w as u64, dispatch, tel,
                     );
                     done.lock().expect("worker poisoned accumulators").push(acc);
                 });

@@ -1,0 +1,199 @@
+//! Property tests for the kernel-dispatch subsystem: every dispatch path
+//! runnable on this host must reproduce the scalar reference **bit for
+//! bit** across metrics ({L2, IP}), code widths (`k* = 16` nibbles,
+//! `k* = 256` bytes), odd and even subquantizer counts, and arbitrary
+//! random codes — the summation-order invariant of
+//! `anna_index::kernels`, checked end to end.
+//!
+//! The environment-variable override (`ANNA_FORCE_SCALAR`) is covered by
+//! unit tests of the pure `resolve` rule inside the crate; these tests
+//! instead drive every member of [`KernelDispatch::available`] explicitly,
+//! so the suite exercises the SIMD path on hosts that have it and stays
+//! green on hosts that don't.
+
+use anna_index::{kernels, KernelDispatch, Lut, LutPrecision, ScanScratch};
+use anna_quant::codes::{CodeWidth, PackedCodes};
+use anna_quant::pq::{PqCodebook, PqConfig};
+use anna_testkit::TestRng;
+use anna_vector::TopK;
+
+/// One codebook + a matching L2-centroid per shape, deterministic per seed.
+fn trained_book(m: usize, kstar: usize, seed: u64) -> (PqCodebook, Vec<f32>) {
+    let dim = m * 3;
+    let data = anna_vector::VectorSet::from_fn(dim, 160, |r, c| {
+        ((r * 29 + c * 13 + seed as usize * 7) % 31) as f32 * 0.5
+    });
+    let book = PqCodebook::train(
+        &data,
+        &PqConfig {
+            m,
+            kstar,
+            iters: 5,
+            seed,
+        },
+    );
+    let centroid: Vec<f32> = (0..dim).map(|i| ((i * 3 + 1) % 7) as f32 * 0.25).collect();
+    (book, centroid)
+}
+
+/// Plain nested-loop oracle over `lut.get`, identifiers in ascending
+/// subquantizer order, bias last — the addition sequence every kernel
+/// must replicate exactly.
+fn scalar_reference(codes: &PackedCodes, lut: &Lut) -> Vec<f32> {
+    let mut row = vec![0u8; codes.m()];
+    (0..codes.len())
+        .map(|v| {
+            codes.read_into(v, &mut row);
+            let mut sum = 0.0f32;
+            for (i, &c) in row.iter().enumerate() {
+                sum += lut.get(i, c as usize);
+            }
+            sum + lut.bias()
+        })
+        .collect()
+}
+
+fn random_codes(rng: &mut TestRng, m: usize, width: CodeWidth, bound: u8, n: usize) -> PackedCodes {
+    let mut packed = PackedCodes::new(m, width);
+    for _ in 0..n {
+        let row = rng.vec_u8(m, bound);
+        packed.push(&row);
+    }
+    packed
+}
+
+/// The full cross-product: dispatch × metric × k* × odd/even m, random
+/// query, random codes, random candidate count — scanned scores must be
+/// bit-identical to the oracle, and so must the kept top-k set.
+#[test]
+fn every_dispatch_is_bit_identical_to_scalar_reference() {
+    let shapes: Vec<(usize, usize)> = vec![(4, 16), (5, 16), (4, 256), (5, 256)];
+    let mut scratch = ScanScratch::new();
+    anna_testkit::forall("dispatch x metric x width x parity", 24, |rng| {
+        let &(m, kstar) = rng.pick(&shapes);
+        let (book, centroid) = trained_book(m, kstar, 3);
+        let dim = book.dim();
+        let q: Vec<f32> = (0..dim)
+            .map(|_| rng.usize(0..13) as f32 * 0.5 - 3.0)
+            .collect();
+        let lut = if rng.usize(0..2) == 0 {
+            Lut::build_ip(&q, &book, LutPrecision::F32)
+        } else {
+            Lut::build_l2(&q, &centroid, &book, LutPrecision::F32)
+        };
+        let width = if kstar == 16 {
+            CodeWidth::U4
+        } else {
+            CodeWidth::U8
+        };
+        // Trained k* can be smaller than configured with scarce data;
+        // random identifiers must stay below what the LUT actually has.
+        let bound = lut.kstar().min(256) as u8;
+        let n = rng.usize(1..600);
+        let codes = random_codes(rng, m, width, bound, n);
+        let ids: Vec<u64> = (0..n as u64).collect();
+        let want = scalar_reference(&codes, &lut);
+
+        let k = rng.usize(1..20);
+        let mut expect = TopK::new(k);
+        kernels::scan_with(
+            &codes,
+            &ids,
+            &lut,
+            &mut expect,
+            KernelDispatch::Scalar,
+            &mut scratch,
+        );
+        let expect = expect.into_sorted_vec();
+
+        for dispatch in KernelDispatch::available() {
+            // Raw scores, every vector.
+            let got = kernels::score_all_with(&codes, &lut, dispatch, &mut scratch);
+            assert_eq!(got.len(), want.len());
+            for (v, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert_eq!(
+                    g.to_bits(),
+                    w.to_bits(),
+                    "m={m} kstar={kstar} dispatch={} vector {v}",
+                    dispatch.name()
+                );
+            }
+            // Pruned top-k set, including tie-breaks.
+            let mut top = TopK::new(k);
+            let tally = kernels::scan_with(&codes, &ids, &lut, &mut top, dispatch, &mut scratch);
+            assert_eq!(tally.scanned, n as u64);
+            assert_eq!(
+                top.into_sorted_vec(),
+                expect,
+                "m={m} kstar={kstar} k={k} dispatch={}",
+                dispatch.name()
+            );
+        }
+    });
+}
+
+/// Encoded (non-random) codes through the real encoder, both metrics: the
+/// end-to-end path an index search takes.
+#[test]
+fn encoded_clusters_score_identically_across_dispatches() {
+    for (m, kstar) in [(4usize, 16usize), (3, 16), (4, 256)] {
+        let (book, centroid) = trained_book(m, kstar, 9);
+        let dim = book.dim();
+        let data =
+            anna_vector::VectorSet::from_fn(dim, 500, |r, c| ((r * 17 + c * 5) % 19) as f32 * 0.3);
+        let codes = book.encode_all(&data);
+        let ids: Vec<u64> = (0..codes.len() as u64).collect();
+        let q: Vec<f32> = (0..dim).map(|i| ((i % 4) as f32) - 1.0).collect();
+        let mut scratch = ScanScratch::new();
+        for lut in [
+            Lut::build_ip(&q, &book, LutPrecision::F32),
+            Lut::build_l2(&q, &centroid, &book, LutPrecision::F32),
+        ] {
+            let want = scalar_reference(&codes, &lut);
+            for dispatch in KernelDispatch::available() {
+                let got = kernels::score_all_with(&codes, &lut, dispatch, &mut scratch);
+                for (v, (g, w)) in got.iter().zip(&want).enumerate() {
+                    assert_eq!(
+                        g.to_bits(),
+                        w.to_bits(),
+                        "m={m} kstar={kstar} dispatch={} vector {v}",
+                        dispatch.name()
+                    );
+                }
+                let mut top = TopK::new(25);
+                kernels::scan_with(&codes, &ids, &lut, &mut top, dispatch, &mut scratch);
+                let mut reference = TopK::new(25);
+                kernels::scan_with(
+                    &codes,
+                    &ids,
+                    &lut,
+                    &mut reference,
+                    KernelDispatch::Scalar,
+                    &mut scratch,
+                );
+                assert_eq!(top.into_sorted_vec(), reference.into_sorted_vec());
+            }
+        }
+    }
+}
+
+/// The convenience `scan` (process-wide dispatch, whatever this host and
+/// environment resolve to) also matches the oracle — whichever path
+/// `KernelDispatch::current()` picked.
+#[test]
+fn process_wide_dispatch_matches_reference() {
+    let (book, _) = trained_book(4, 16, 5);
+    let dim = book.dim();
+    let data = anna_vector::VectorSet::from_fn(dim, 300, |r, c| ((r * 11 + c) % 13) as f32);
+    let codes = book.encode_all(&data);
+    let ids: Vec<u64> = (0..codes.len() as u64).collect();
+    let q = vec![1.5f32; dim];
+    let lut = Lut::build_ip(&q, &book, LutPrecision::F32);
+    let want = scalar_reference(&codes, &lut);
+    let mut top = TopK::new(codes.len());
+    let tally = kernels::scan(&codes, &ids, &lut, &mut top);
+    assert_eq!(tally.scanned, codes.len() as u64);
+    for h in top.into_sorted_vec() {
+        assert_eq!(h.score.to_bits(), want[h.id as usize].to_bits());
+    }
+}

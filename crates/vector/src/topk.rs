@@ -110,13 +110,21 @@ impl TopK {
         self.heap.is_empty()
     }
 
-    /// The current worst kept score, or `None` until `k` entries have been
-    /// accepted. Scores below this threshold are guaranteed to be rejected.
-    pub fn threshold(&self) -> Option<f32> {
+    /// The current rejection threshold: the worst kept score once `k`
+    /// entries are tracked, [`f32::NEG_INFINITY`] until then.
+    ///
+    /// A candidate scoring *strictly below* this value is guaranteed to be
+    /// rejected by [`TopK::push`], so scan kernels may filter with
+    /// `score >= threshold` before paying the heap push. Candidates at
+    /// exactly the threshold must still be offered: the id tie-break can
+    /// evict the current worst (equal score, lower id wins). NaN scores
+    /// fail `score >= threshold` for every possible threshold, which
+    /// matches `push` rejecting them.
+    pub fn threshold(&self) -> f32 {
         if self.heap.len() < self.k {
-            None
+            f32::NEG_INFINITY
         } else {
-            self.heap.peek().map(|r| r.0.score)
+            self.heap.peek().map_or(f32::NEG_INFINITY, |r| r.0.score)
         }
     }
 
@@ -197,13 +205,51 @@ mod tests {
     }
 
     #[test]
-    fn threshold_is_none_until_full() {
-        let mut t = TopK::new(2);
-        assert!(t.threshold().is_none());
+    fn threshold_is_neg_infinity_while_empty() {
+        let t = TopK::new(2);
+        assert_eq!(t.threshold(), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn threshold_is_neg_infinity_while_partially_full() {
+        let mut t = TopK::new(3);
         t.push(0, 1.0);
-        assert!(t.threshold().is_none());
+        t.push(1, 9.0);
+        assert_eq!(t.threshold(), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn threshold_tracks_worst_kept_score_once_full() {
+        let mut t = TopK::new(2);
+        t.push(0, 1.0);
         t.push(1, 2.0);
-        assert_eq!(t.threshold(), Some(1.0));
+        assert_eq!(t.threshold(), 1.0);
+        t.push(2, 5.0); // evicts the 1.0
+        assert_eq!(t.threshold(), 2.0);
+        t.push(3, 0.5); // rejected, threshold unchanged
+        assert_eq!(t.threshold(), 2.0);
+    }
+
+    #[test]
+    fn nan_push_leaves_threshold_and_contents_untouched() {
+        // Regression: a NaN candidate must neither enter the heap nor
+        // perturb the threshold at any fill level — and the kernels'
+        // `score >= threshold` pre-filter agrees with push for NaN (the
+        // comparison is false even against NEG_INFINITY).
+        let mut t = TopK::new(2);
+        assert!(!t.push(0, f32::NAN));
+        assert_eq!(t.threshold(), f32::NEG_INFINITY);
+        let nan_passes_filter = f32::NAN
+            .partial_cmp(&t.threshold())
+            .is_some_and(|o| o.is_ge());
+        assert!(!nan_passes_filter);
+        t.push(1, 1.0);
+        t.push(2, 2.0);
+        assert!(!t.push(3, f32::NAN));
+        assert_eq!(t.threshold(), 1.0);
+        assert_eq!(t.len(), 2);
+        let ids: Vec<u64> = t.into_sorted_vec().iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![2, 1]);
     }
 
     #[test]
