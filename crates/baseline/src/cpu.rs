@@ -464,7 +464,7 @@ mod tests {
         let snap = tel.snapshot_json().unwrap();
         for key in [
             "\"cpu.qps\"",
-            "\"batch.clusters_loaded\"",
+            "\"plan.clusters_fetched\"",
             "\"worker0.busy_ns\"",
             "\"worker0.idle_ns\"",
             "\"worker0.tiles\"",

@@ -7,7 +7,7 @@
 //! assignment (and therefore the answer) stays fixed.
 
 use anna_baseline::cpu::measure_batched_qps_traced;
-use anna_core::batch::ScmAllocation;
+use anna_core::ScmAllocation;
 use anna_core::{Anna, AnnaConfig};
 use anna_index::{BatchExec, BatchedScan, IvfPqConfig, IvfPqIndex, SearchParams};
 use anna_telemetry::Telemetry;
@@ -226,7 +226,7 @@ mod tests {
             "\"threads2.worker1.idle_ns\"",
             "\"threads2.worker0.tiles\"",
             // Bridged software-engine traffic counters.
-            "\"threads1.batch.clusters_loaded\"",
+            "\"threads1.plan.clusters_fetched\"",
             // Bridged accelerator module + P-heap counters.
             "\"accel.cpm.cycles\"",
             "\"accel.efm.code_bytes\"",

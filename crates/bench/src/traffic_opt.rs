@@ -7,8 +7,10 @@
 //! ("the speedup is greater on the 4:1 compression ratio cases since the
 //! performance in those scenarios is more memory bandwidth-bound").
 
-use anna_core::{engine::analytic, AnnaConfig, QueryWorkload, ScmAllocation};
+use anna_core::{engine::analytic, AnnaConfig, QueryWorkload, ScmAllocation, TrafficModel};
 use anna_data::PaperDataset;
+use anna_index::{BatchedScan, SearchParams};
+use anna_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
 
 use crate::configs::SearchConfig;
@@ -28,6 +30,17 @@ pub struct SpeedupRow {
     pub speedup: f64,
     /// Geomean code-traffic reduction across datasets.
     pub traffic_reduction: f64,
+    /// Cluster-major code bytes measured by the software scanner on the
+    /// scaled indexes (summed across datasets).
+    pub cluster_major_bytes: u64,
+    /// Code bytes the conventional query-major schedule would have read
+    /// on the same scaled runs (summed across datasets).
+    pub conventional_bytes: u64,
+    /// Absolute difference between the [`TrafficModel`]-predicted bytes
+    /// and the bytes the software scanner measured executing the same
+    /// [`anna_core::BatchPlan`], summed over the code, cluster-meta,
+    /// spill, and fill components. Must be exactly 0.
+    pub predicted_vs_measured_delta: u64,
 }
 
 /// The Section V-B comparison result.
@@ -59,11 +72,40 @@ pub fn run_for(datasets: &[PaperDataset], scale: &Scale) -> TrafficOpt {
         for cfg in &SearchConfig::ALL[..3] {
             let mut log_speedup = 0.0f64;
             let mut log_traffic = 0.0f64;
+            let mut cluster_major_bytes = 0u64;
+            let mut conventional_bytes = 0u64;
+            let mut delta = 0u64;
             for &dataset in datasets {
                 let ctx = PlotContext::build(dataset, compression, scale);
                 let workload = ctx.paper_workload(cfg, w_paper);
                 let hw = AnnaConfig::paper();
                 let opt = analytic::batch(&hw, &workload, ScmAllocation::Auto);
+
+                // Software cross-validation leg on the scaled index: price
+                // the plan with the TrafficModel, execute the *same* plan
+                // with the software scanner, and diff the shared byte
+                // components (the headline invariant of the plan layer).
+                let model = ctx.model(cfg);
+                let scan = BatchedScan::new(&model.index);
+                let params = SearchParams {
+                    nprobe: w_paper.min(model.index.num_clusters()),
+                    k: scale.recall_y,
+                    ..Default::default()
+                };
+                let sw = scan.workload(&ctx.data.queries, &params);
+                let pp = hw.plan_params();
+                let plan = anna_core::plan::plan(&pp, &sw, ScmAllocation::InterQuery);
+                let predicted = TrafficModel::new(pp).price(&sw, &plan);
+                let (_, stats) =
+                    scan.run_plan(&ctx.data.queries, &params, &plan, 2, &Telemetry::disabled());
+                cluster_major_bytes += stats.code_bytes;
+                conventional_bytes += stats.conventional_code_bytes;
+                delta += predicted.code_bytes.abs_diff(stats.code_bytes)
+                    + predicted
+                        .cluster_meta_bytes
+                        .abs_diff(stats.clusters_fetched * anna_core::plan::CLUSTER_META_BYTES)
+                    + predicted.topk_spill_bytes.abs_diff(stats.topk_spill_bytes)
+                    + predicted.topk_fill_bytes.abs_diff(stats.topk_fill_bytes);
 
                 let singles: Vec<QueryWorkload> = workload
                     .visits
@@ -87,6 +129,9 @@ pub fn run_for(datasets: &[PaperDataset], scale: &Scale) -> TrafficOpt {
                 compression,
                 speedup: (log_speedup / datasets.len() as f64).exp(),
                 traffic_reduction: (log_traffic / datasets.len() as f64).exp(),
+                cluster_major_bytes,
+                conventional_bytes,
+                predicted_vs_measured_delta: delta,
             });
         }
     }
@@ -107,6 +152,9 @@ impl TrafficOpt {
                             .set("compression", r.compression)
                             .set("speedup", r.speedup)
                             .set("traffic_reduction", r.traffic_reduction)
+                            .set("cluster_major_bytes", r.cluster_major_bytes)
+                            .set("conventional_bytes", r.conventional_bytes)
+                            .set("predicted_vs_measured_delta", r.predicted_vs_measured_delta)
                     })
                     .collect(),
             ),
@@ -179,6 +227,13 @@ mod tests {
                 r.speedup
             );
             assert!(r.traffic_reduction > 1.0);
+            assert_eq!(
+                r.predicted_vs_measured_delta, 0,
+                "{} {}:1 predicted bytes diverge from measured",
+                r.config, r.compression
+            );
+            assert!(r.cluster_major_bytes > 0);
+            assert!(r.conventional_bytes >= r.cluster_major_bytes);
         }
         // Paper: more memory-bound 4:1 benefits more than 8:1.
         assert!(

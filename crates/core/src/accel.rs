@@ -11,10 +11,10 @@
 //! report.
 
 use anna_index::{IvfPqIndex, Lut};
+use anna_plan::ScmAllocation;
 use anna_telemetry::Telemetry;
 use anna_vector::{f16, metric, Metric, Neighbor, VectorSet};
 
-use crate::batch::{self, ScmAllocation};
 use crate::config::{AnnaConfig, ValidateConfigError};
 use crate::engine::analytic;
 use crate::modules::crossbar::{Crossbar, Routing};
@@ -243,8 +243,8 @@ impl<'a> Anna<'a> {
             let _span = tel.span("accel.plan");
             self.plan_batch(queries, w, k)
         };
-        let schedule = batch::plan(&self.cfg, &workload, alloc);
-        let g = schedule.scm_per_query;
+        let plan = anna_plan::plan(&self.cfg.plan_params(), &workload, alloc);
+        let g = plan.scm_per_query;
         let record = self.cfg.topk_record_bytes;
         let timed = tel.is_enabled();
         let mut pheap_total = PHeapStats::default();
@@ -271,7 +271,7 @@ impl<'a> Anna<'a> {
 
         {
             let _span = tel.span("accel.rounds");
-            for round in &schedule.rounds {
+            for round in &plan.rounds {
                 let start = if timed { tel.now_ns() } else { 0 };
                 for &qi in &round.queries {
                     let q = queries.row(qi);
@@ -361,7 +361,9 @@ impl<'a> Anna<'a> {
             tel.counter_add("pheap.fill_bytes", pheap_total.fill_bytes);
         }
 
-        let timing = analytic::batch(&self.cfg, &workload, alloc);
+        // Price timing off the very plan just executed, so the report's
+        // traffic matches the functional run's schedule exactly.
+        let timing = analytic::batch_plan(&self.cfg, &workload, &plan);
         (results, timing)
     }
 }

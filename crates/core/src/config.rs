@@ -151,6 +151,17 @@ impl AnnaConfig {
         cycles / (self.clock_ghz * 1e9)
     }
 
+    /// The planner parameters implied by this configuration: `N_SCM`
+    /// groups to allocate, and the top-k capacity / record size that price
+    /// intermediate spill/fill units (Section IV-C).
+    pub fn plan_params(&self) -> anna_plan::PlanParams {
+        anna_plan::PlanParams {
+            n_scm: self.n_scm,
+            topk_capacity: self.topk,
+            topk_record_bytes: self.topk_record_bytes,
+        }
+    }
+
     /// Codebook SRAM bytes for a given `D` and `k*`: `2·k*·D`
     /// (Section III-B; 64 KB for D=128, k*=256).
     pub fn codebook_sram_bytes(&self, d: usize, kstar: usize) -> usize {

@@ -296,7 +296,7 @@ impl Device {
         queries: &VectorSet,
         w: usize,
         k: usize,
-        alloc: crate::batch::ScmAllocation,
+        alloc: anna_plan::ScmAllocation,
         index: &IvfPqIndex,
     ) -> Vec<Vec<Neighbor>> {
         assert_eq!(queries.dim(), self.dim, "query dimension mismatch");
@@ -326,8 +326,8 @@ impl Device {
                 .map(|q| cpm.filter_clusters(q, &centroids, self.metric, w))
                 .collect(),
         };
-        let schedule = crate::batch::plan(&self.cfg, &workload, alloc);
-        let g = schedule.scm_per_query;
+        let plan = anna_plan::plan(&self.cfg.plan_params(), &workload, alloc);
+        let g = plan.scm_per_query;
         let rec = self.cfg.topk_record_bytes;
 
         let ip_bases: Option<Vec<Lut>> = match self.metric {
@@ -345,7 +345,7 @@ impl Device {
         let mut has_state = vec![false; b];
         let mut efm = Efm::new(self.cfg.encoded_buffer_bytes);
 
-        for round in &schedule.rounds {
+        for round in &plan.rounds {
             let cluster = {
                 let ids = &index.cluster(round.cluster).ids;
                 anna_index::ivf::Cluster {
@@ -525,7 +525,7 @@ mod tests {
 
     #[test]
     fn batched_device_search_matches_accelerator() {
-        use crate::batch::ScmAllocation;
+        use anna_plan::ScmAllocation;
         let (data, index) = setup(Metric::L2);
         let cfg = AnnaConfig::paper();
         let mut dev = Device::boot(cfg.clone(), &index, 16, 4).unwrap();
@@ -552,7 +552,7 @@ mod tests {
 
     #[test]
     fn batched_device_spills_real_records() {
-        use crate::batch::ScmAllocation;
+        use anna_plan::ScmAllocation;
         let (data, index) = setup(Metric::InnerProduct);
         let cfg = AnnaConfig::paper();
         let mut dev = Device::boot(cfg, &index, 16, 6).unwrap();

@@ -179,6 +179,8 @@ mod tests {
             compute_cycles: cpm + scm,
             memory_cycles: mem,
             traffic: TrafficReport::default(),
+            clusters_fetched: 0,
+            scan_work: 0,
             activity: Activity {
                 cpm_cycles: cpm,
                 scm_cycles: scm,

@@ -4,19 +4,15 @@
 //! Cross-validated against the event-driven [`crate::engine::cycle`]
 //! engine; integration tests assert the two agree within a few percent.
 
+use anna_plan::{BatchPlan, ScmAllocation, TrafficModel};
 use anna_vector::Metric;
 
-use crate::batch::{self, ScmAllocation};
 use crate::config::AnnaConfig;
 use crate::timing::{Activity, BatchWorkload, QueryWorkload, TimingReport, TrafficReport};
 
-/// Bytes of cluster metadata (start address + size) read per cluster, one
-/// 64 B memory line (Section III-B(2)).
-pub const CLUSTER_META_BYTES: u64 = 64;
-
-/// Bytes per query-id record in the per-cluster query lists
-/// (Section IV-A: 3 B query ids).
-pub const QUERY_ID_BYTES: u64 = 3;
+// The byte constants live with the `TrafficModel` in the shared plan layer;
+// re-exported here because they originated in this module.
+pub use anna_plan::{CLUSTER_META_BYTES, QUERY_ID_BYTES};
 
 /// Times one query in the baseline (non-batched) mode, with `g` SCMs
 /// assigned to the query (intra-query parallelism; `g = 1` uses a single
@@ -126,6 +122,8 @@ pub fn single_query(cfg: &AnnaConfig, w: &QueryWorkload, g: usize) -> TimingRepo
             scm_cycles: scan_demand * g as f64,
             topk_inputs: w.vectors_scanned() as f64,
         },
+        clusters_fetched: nvisits as u64,
+        scan_work: w.vectors_scanned(),
         queries: 1,
     }
 }
@@ -208,6 +206,8 @@ pub fn single_query_unbuffered(cfg: &AnnaConfig, w: &QueryWorkload, g: usize) ->
             scm_cycles: scan_demand * g as f64,
             topk_inputs: w.vectors_scanned() as f64,
         },
+        clusters_fetched: nvisits as u64,
+        scan_work: w.vectors_scanned(),
         queries: 1,
     }
 }
@@ -222,6 +222,8 @@ pub fn sequential_queries(cfg: &AnnaConfig, workloads: &[QueryWorkload], g: usiz
         memory_cycles: 0.0,
         traffic: TrafficReport::default(),
         activity: Activity::default(),
+        clusters_fetched: 0,
+        scan_work: 0,
         queries: 0,
     };
     for w in workloads {
@@ -240,6 +242,8 @@ pub fn sequential_queries(cfg: &AnnaConfig, workloads: &[QueryWorkload], g: usiz
         total.activity.cpm_cycles += r.activity.cpm_cycles;
         total.activity.scm_cycles += r.activity.scm_cycles;
         total.activity.topk_inputs += r.activity.topk_inputs;
+        total.clusters_fetched += r.clusters_fetched;
+        total.scan_work += r.scan_work;
         total.queries += 1;
     }
     total
@@ -259,15 +263,28 @@ pub fn sequential_queries(cfg: &AnnaConfig, workloads: &[QueryWorkload], g: usiz
 /// Panics if the shape is invalid or the allocation is inconsistent with
 /// `N_SCM`.
 pub fn batch(cfg: &AnnaConfig, w: &BatchWorkload, alloc: ScmAllocation) -> TimingReport {
+    let plan = anna_plan::plan(&cfg.plan_params(), w, alloc);
+    batch_plan(cfg, w, &plan)
+}
+
+/// Times a batch executing an explicit, pre-computed [`BatchPlan`] — the
+/// shared IR also consumed by the software batch engine, the cycle and
+/// stepped simulators, and the functional accelerator. The traffic side of
+/// the report is priced by [`TrafficModel`] on the same plan, so predicted
+/// and simulated bytes are equal by construction.
+///
+/// # Panics
+///
+/// Panics if the shape is invalid or the plan references queries outside
+/// the workload.
+pub fn batch_plan(cfg: &AnnaConfig, w: &BatchWorkload, plan: &BatchPlan) -> TimingReport {
     w.shape.assert_valid();
     let s = &w.shape;
-    let schedule = batch::plan(cfg, w, alloc);
-    let g = schedule.scm_per_query;
+    let g = plan.scm_per_query;
     let b = w.b();
     let bpc = cfg.bytes_per_cycle();
     let cpv = s.scan_cycles_per_vector(cfg.n_u) as f64;
     let bytes_per_vec = s.encoded_bytes_per_vector() as u64;
-    let record = cfg.topk_record_bytes as u64;
     let lut_fill_one = s.lut_fill_cycles(cfg.n_cu)
         + match s.metric {
             Metric::L2 => s.d as f64 / cfg.n_cu as f64, // residual step
@@ -280,61 +297,32 @@ pub fn batch(cfg: &AnnaConfig, w: &BatchWorkload, alloc: ScmAllocation) -> Timin
     // main memory (3 B per record, written then read back by the
     // scheduler).
     let filter_compute = s.filter_compute_cycles(cfg.n_cu) * b as f64;
-    let total_visits: u64 = w.visits.iter().map(|v| v.len() as u64).sum();
-    let query_list_bytes = 2 * total_visits * QUERY_ID_BYTES;
+    let total_visits = w.total_visits();
     let filter_mem = s.centroid_bytes() + total_visits * QUERY_ID_BYTES;
     let filter_cycles = filter_compute.max(filter_mem as f64 / bpc);
 
     // --- Phase 2: cluster-major rounds ----------------------------------
     // Per-round quantities. Spill/fill traffic: a query's partial top-k is
     // filled from memory unless this is its first round, and spilled back
-    // unless it is its last. Each of the query's `g` SCM-partitions holds
-    // its own k-entry unit.
-    let rounds = &schedule.rounds;
+    // unless it is its last; the plan prices each direction at
+    // `spill_unit_bytes` (the query's `g` SCM-partitions each hold their
+    // own k-entry unit).
+    let rounds = &plan.rounds;
     let n_rounds = rounds.len();
-    let mut seen = vec![0usize; b]; // rounds already run per query
-    let visits_per_query: Vec<usize> = w.visits.iter().map(|v| v.len()).collect();
-    // Number of rounds each query participates in.
-    let mut rounds_per_query = vec![0usize; b];
-    for r in rounds {
-        for &q in &r.queries {
-            rounds_per_query[q] += 1;
-        }
-    }
+    let topk_units = plan.round_topk_units();
 
     let mut scan_cycles_r = Vec::with_capacity(n_rounds);
     let mut lut_cycles_r = Vec::with_capacity(n_rounds);
     let mut mem_bytes_r = Vec::with_capacity(n_rounds);
-    let mut code_bytes = 0u64;
-    let mut meta_bytes = 0u64;
-    let mut spill_bytes = 0u64;
-    let mut fill_bytes = 0u64;
     let mut topk_inputs = 0f64;
 
-    for r in rounds {
+    for (r, &(fills, spills)) in rounds.iter().zip(&topk_units) {
         let nq = r.queries.len() as f64;
         scan_cycles_r.push(((r.cluster_size as f64) / g as f64).ceil() * cpv);
         lut_cycles_r.push(nq * lut_fill_one);
-        let mut bytes = 0u64;
+        let mut bytes = (fills + spills) * plan.spill_unit_bytes;
         if r.fetches_codes {
-            let cb = r.cluster_size as u64 * bytes_per_vec;
-            bytes += cb + CLUSTER_META_BYTES;
-            code_bytes += cb;
-            meta_bytes += CLUSTER_META_BYTES;
-        }
-        for &q in &r.queries {
-            let fills = seen[q] > 0;
-            let spills = seen[q] + 1 < rounds_per_query[q];
-            let per_unit = (s.k.min(cfg.topk) * g) as u64 * record;
-            if fills {
-                bytes += per_unit;
-                fill_bytes += per_unit;
-            }
-            if spills {
-                bytes += per_unit;
-                spill_bytes += per_unit;
-            }
-            seen[q] += 1;
+            bytes += r.cluster_size as u64 * bytes_per_vec + CLUSTER_META_BYTES;
         }
         mem_bytes_r.push(bytes);
         topk_inputs += r.cluster_size as f64 * nq;
@@ -363,21 +351,13 @@ pub fn batch(cfg: &AnnaConfig, w: &BatchWorkload, alloc: ScmAllocation) -> Timin
     // Epilogue: per-query merge of g partial units (groups work in
     // parallel) and the final result store.
     let merge = if g > 1 {
-        b as f64 * (g as f64 - 1.0) * s.k as f64 / schedule.queries_per_round as f64
+        b as f64 * (g as f64 - 1.0) * s.k as f64 / plan.queries_per_round as f64
     } else {
         0.0
     };
-    let result_bytes = (b * s.k * cfg.topk_record_bytes) as u64;
 
-    let traffic = TrafficReport {
-        centroid_bytes: s.centroid_bytes(),
-        cluster_meta_bytes: meta_bytes,
-        code_bytes,
-        topk_spill_bytes: spill_bytes,
-        topk_fill_bytes: fill_bytes,
-        query_list_bytes,
-        result_bytes,
-    };
+    let traffic = TrafficModel::new(cfg.plan_params()).price(w, plan);
+    let result_bytes = traffic.result_bytes;
 
     let scan_demand: f64 = scan_cycles_r.iter().sum();
     let lut_demand: f64 = lut_cycles_r.iter().sum();
@@ -386,7 +366,10 @@ pub fn batch(cfg: &AnnaConfig, w: &BatchWorkload, alloc: ScmAllocation) -> Timin
     let cycles = filter_cycles + scan_phase + merge + result_bytes as f64 / bpc;
 
     // Check every query was scheduled for all of its visits.
-    debug_assert!(seen.iter().zip(&visits_per_query).all(|(a, b)| a == b));
+    debug_assert_eq!(
+        rounds.iter().map(|r| r.queries.len() as u64).sum::<u64>(),
+        total_visits
+    );
 
     TimingReport {
         cycles,
@@ -403,6 +386,8 @@ pub fn batch(cfg: &AnnaConfig, w: &BatchWorkload, alloc: ScmAllocation) -> Timin
                 .sum(),
             topk_inputs,
         },
+        clusters_fetched: plan.clusters_fetched(),
+        scan_work: plan.total_scan_work(),
         queries: b,
     }
 }
@@ -607,7 +592,7 @@ mod tests {
                 .map(|q| (0..5).map(|i| (q + i) % 20).collect())
                 .collect(),
         };
-        let schedule = batch::plan(&cfg, &w, ScmAllocation::InterQuery);
+        let schedule = anna_plan::plan(&cfg.plan_params(), &w, ScmAllocation::InterQuery);
         let r = batch(&cfg, &w, ScmAllocation::InterQuery);
         // The bound covers both directions (one spill + one fill per query
         // per round at most), now accounted separately.

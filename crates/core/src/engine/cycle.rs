@@ -18,9 +18,9 @@
 //! within a few percent, with the event-driven engine never faster than
 //! the larger of the pure-compute / pure-memory bounds.
 
+use anna_plan::{BatchPlan, ScmAllocation, TrafficModel};
 use anna_vector::Metric;
 
-use crate::batch::{self, ScmAllocation};
 use crate::config::AnnaConfig;
 use crate::engine::analytic::{CLUSTER_META_BYTES, QUERY_ID_BYTES};
 use crate::timing::{Activity, BatchWorkload, QueryWorkload, TimingReport, TrafficReport};
@@ -157,6 +157,8 @@ pub fn single_query(cfg: &AnnaConfig, w: &QueryWorkload, g: usize) -> TimingRepo
             scm_cycles: scm_busy * g as f64,
             topk_inputs: w.vectors_scanned() as f64,
         },
+        clusters_fetched: n as u64,
+        scan_work: w.vectors_scanned(),
         queries: 1,
     }
 }
@@ -189,6 +191,17 @@ pub fn batch(cfg: &AnnaConfig, w: &BatchWorkload, alloc: ScmAllocation) -> Timin
     batch_traced(cfg, w, alloc).0
 }
 
+/// Simulates a batch executing an explicit, pre-computed [`BatchPlan`]
+/// (the shared IR; see [`crate::engine::analytic::batch_plan`]).
+///
+/// # Panics
+///
+/// Panics if the shape is invalid or the plan references queries outside
+/// the workload.
+pub fn batch_plan(cfg: &AnnaConfig, w: &BatchWorkload, plan: &BatchPlan) -> TimingReport {
+    batch_plan_traced(cfg, w, plan).0
+}
+
 /// Like [`fn@batch`], additionally returning per-round event windows — the
 /// data behind the paper's Figure 7 steady-state timeline.
 ///
@@ -200,15 +213,28 @@ pub fn batch_traced(
     w: &BatchWorkload,
     alloc: ScmAllocation,
 ) -> (TimingReport, Vec<RoundTrace>) {
+    let plan = anna_plan::plan(&cfg.plan_params(), w, alloc);
+    batch_plan_traced(cfg, w, &plan)
+}
+
+/// Like [`fn@batch_plan`], additionally returning per-round event windows.
+///
+/// # Panics
+///
+/// Panics if the shape is invalid or the plan references queries outside
+/// the workload.
+pub fn batch_plan_traced(
+    cfg: &AnnaConfig,
+    w: &BatchWorkload,
+    plan: &BatchPlan,
+) -> (TimingReport, Vec<RoundTrace>) {
     w.shape.assert_valid();
     let s = &w.shape;
-    let schedule = batch::plan(cfg, w, alloc);
-    let g = schedule.scm_per_query;
+    let g = plan.scm_per_query;
     let b = w.b();
     let mut mem = MemChannel::new(cfg.bytes_per_cycle());
     let cpv = s.scan_cycles_per_vector(cfg.n_u) as f64;
     let bytes_per_vec = s.encoded_bytes_per_vector() as u64;
-    let record = cfg.topk_record_bytes as u64;
     let lut_one = s.lut_fill_cycles(cfg.n_cu)
         + match s.metric {
             Metric::L2 => s.d as f64 / cfg.n_cu as f64,
@@ -217,7 +243,7 @@ pub fn batch_traced(
 
     // Phase 1: batched cluster filtering + query-list writes.
     let (_, centroid_end) = mem.transfer(0.0, s.centroid_bytes());
-    let total_visits: u64 = w.visits.iter().map(|v| v.len() as u64).sum();
+    let total_visits = w.total_visits();
     let (_, list_end) = mem.transfer(centroid_end, total_visits * QUERY_ID_BYTES);
     let filter_compute = s.filter_compute_cycles(cfg.n_cu) * b as f64;
     let filter_done = list_end.max(filter_compute);
@@ -227,17 +253,13 @@ pub fn batch_traced(
     // Read the lists back for scheduling (overlapped with first fetches).
     let (_, _lists_read_end) = mem.transfer(filter_done, total_visits * QUERY_ID_BYTES);
 
-    let rounds = &schedule.rounds;
+    let rounds = &plan.rounds;
     let n = rounds.len();
     let mut scan_end = vec![0.0f64; n];
     let mut scm_busy = 0.0f64;
-    let mut seen = vec![0usize; b];
-    let mut rounds_per_query = vec![0usize; b];
-    for r in rounds {
-        for &q in &r.queries {
-            rounds_per_query[q] += 1;
-        }
-    }
+    // Per-round fill/spill counts come from the plan itself, so the
+    // simulated transfers price exactly what the `TrafficModel` predicts.
+    let topk_units = plan.round_topk_units();
 
     // Fetch-order double buffering: map each fetching round to its fetch
     // index and remember when the cluster occupying that buffer is
@@ -311,12 +333,7 @@ pub fn batch_traced(
 
         // Top-k fills for queries resuming in this round.
         let mut fill_end = filter_done;
-        let mut fill_bytes_total = 0u64;
-        for &q in &r.queries {
-            if seen[q] > 0 {
-                fill_bytes_total += (s.k.min(cfg.topk) * g) as u64 * record;
-            }
-        }
+        let fill_bytes_total = topk_units[ri].0 * plan.spill_unit_bytes;
         if fill_bytes_total > 0 {
             // The top-k unit keeps two buffer sets (Section III-B(4)): the
             // shadow set can fill from memory while the previous round's
@@ -367,13 +384,7 @@ pub fn batch_traced(
 
         // Spills for queries that will resume later (issued next
         // iteration, behind the following prefetch).
-        let mut spill_total = 0u64;
-        for &q in &r.queries {
-            seen[q] += 1;
-            if seen[q] < rounds_per_query[q] {
-                spill_total += (s.k.min(cfg.topk) * g) as u64 * record;
-            }
-        }
+        let spill_total = topk_units[ri].1 * plan.spill_unit_bytes;
         if spill_total > 0 {
             pending_spill = Some((scan_end[ri], spill_total));
             spill_bytes += spill_total;
@@ -385,22 +396,19 @@ pub fn batch_traced(
 
     let after = if n > 0 { scan_end[n - 1] } else { filter_done };
     let merge = if g > 1 {
-        b as f64 * (g as f64 - 1.0) * s.k as f64 / schedule.queries_per_round as f64
+        b as f64 * (g as f64 - 1.0) * s.k as f64 / plan.queries_per_round as f64
     } else {
         0.0
     };
-    let result_bytes = (b * s.k * cfg.topk_record_bytes) as u64;
-    let (_, end) = mem.transfer(after + merge, result_bytes);
+    let traffic = TrafficModel::new(cfg.plan_params()).price(w, plan);
+    let (_, end) = mem.transfer(after + merge, traffic.result_bytes);
 
-    let traffic = TrafficReport {
-        centroid_bytes: s.centroid_bytes(),
-        cluster_meta_bytes: meta_bytes,
-        code_bytes,
-        topk_spill_bytes: spill_bytes,
-        topk_fill_bytes: fill_bytes,
-        query_list_bytes: 2 * total_visits * QUERY_ID_BYTES,
-        result_bytes,
-    };
+    // The simulated transfers must have moved exactly the priced bytes.
+    debug_assert_eq!(code_bytes, traffic.code_bytes);
+    debug_assert_eq!(meta_bytes, traffic.cluster_meta_bytes);
+    debug_assert_eq!(spill_bytes, traffic.topk_spill_bytes);
+    debug_assert_eq!(fill_bytes, traffic.topk_fill_bytes);
+
     let compute_cycles = cpm_busy + scm_busy + merge;
     let memory_cycles = traffic.total() as f64 / mem.bpc;
 
@@ -420,6 +428,8 @@ pub fn batch_traced(
                 .sum(),
             topk_inputs,
         },
+        clusters_fetched: plan.clusters_fetched(),
+        scan_work: plan.total_scan_work(),
         queries: b,
     };
     (report, traces)

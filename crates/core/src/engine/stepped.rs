@@ -15,11 +15,12 @@
 //! Runtime is O(total cycles), so use it for validation-sized runs (it
 //! happily steps a few million cycles; the other engines cover sweeps).
 
+use anna_plan::{BatchPlan, ScmAllocation};
 use anna_vector::Metric;
 use serde::Serialize;
 
 use crate::config::AnnaConfig;
-use crate::engine::analytic::CLUSTER_META_BYTES;
+use crate::engine::analytic::{CLUSTER_META_BYTES, QUERY_ID_BYTES};
 use crate::timing::QueryWorkload;
 
 /// Per-cycle attribution of the scan phase.
@@ -50,6 +51,11 @@ pub struct SteppedReport {
     pub stalls: StallBreakdown,
     /// Total DRAM bytes moved.
     pub traffic_bytes: u64,
+    /// Cluster code fetches actually issued by the state machine.
+    pub clusters_fetched: u64,
+    /// Encoded vectors whose scan the state machine completed (per
+    /// SCM-group, summed across rounds).
+    pub scan_work: u64,
 }
 
 impl SteppedReport {
@@ -195,6 +201,8 @@ pub fn single_query(cfg: &AnnaConfig, w: &QueryWorkload, g: usize) -> SteppedRep
     let mut result_issued = false;
     let merge_cycles = if g > 1 { ((g - 1) * s.k) as u64 } else { 0 };
     let mut merge_remaining = merge_cycles;
+    let mut clusters_fetched = 0u64;
+    let mut scan_work = 0u64;
 
     // `n` is fixed; the loop exits via the result-store `break` below.
     #[allow(clippy::while_immutable_condition)]
@@ -205,6 +213,7 @@ pub fn single_query(cfg: &AnnaConfig, w: &QueryWorkload, g: usize) -> SteppedRep
             if !fetch_issued[i] && (i < 2 || scan_done[i - 2]) {
                 chan.request(1 + i, fetch_bytes[i]);
                 fetch_issued[i] = true;
+                clusters_fetched += 1;
             }
         }
 
@@ -264,6 +273,7 @@ pub fn single_query(cfg: &AnnaConfig, w: &QueryWorkload, g: usize) -> SteppedRep
                     && chan.done(1 + current, fetch_bytes[current])
                 {
                     scan_done[current] = true;
+                    scan_work += sizes[current] as u64;
                     current += 1;
                 }
             }
@@ -299,6 +309,8 @@ pub fn single_query(cfg: &AnnaConfig, w: &QueryWorkload, g: usize) -> SteppedRep
         filter_cycles,
         stalls,
         traffic_bytes: chan.total_bytes,
+        clusters_fetched,
+        scan_work,
     }
 }
 
@@ -314,25 +326,40 @@ pub fn single_query(cfg: &AnnaConfig, w: &QueryWorkload, g: usize) -> SteppedRep
 pub fn batch(
     cfg: &AnnaConfig,
     w: &crate::timing::BatchWorkload,
-    alloc: crate::batch::ScmAllocation,
+    alloc: ScmAllocation,
+) -> SteppedReport {
+    let plan = anna_plan::plan(&cfg.plan_params(), w, alloc);
+    batch_plan(cfg, w, &plan)
+}
+
+/// Steps the batched pipeline executing an explicit, pre-computed
+/// [`BatchPlan`] (the shared IR; see
+/// [`crate::engine::analytic::batch_plan`]).
+///
+/// # Panics
+///
+/// Panics if the shape is invalid, the plan references queries outside the
+/// workload, or the run exceeds the 2³³-cycle deadlock limit.
+pub fn batch_plan(
+    cfg: &AnnaConfig,
+    w: &crate::timing::BatchWorkload,
+    plan: &BatchPlan,
 ) -> SteppedReport {
     w.shape.assert_valid();
     let s = &w.shape;
-    let schedule = crate::batch::plan(cfg, w, alloc);
-    let g = schedule.scm_per_query;
+    let g = plan.scm_per_query;
     let b = w.b();
     let bpc = cfg.bytes_per_cycle();
     let bytes_per_vec = s.encoded_bytes_per_vector() as u64;
     let cpv = s.scan_cycles_per_vector(cfg.n_u) as f64;
     let consume_rate = g as f64 / cpv;
-    let record = cfg.topk_record_bytes as u64;
     let lut_cost_per_query = s.lut_fill_cycles(cfg.n_cu)
         + match s.metric {
             Metric::L2 => s.d as f64 / cfg.n_cu as f64,
             Metric::InnerProduct => 0.0,
         };
 
-    let rounds = &schedule.rounds;
+    let rounds = &plan.rounds;
     let n = rounds.len();
     // Memory tags: 0 centroids+lists, 1..=n per-round traffic (codes +
     // fills), n+1 result store. Spills ride the round tags of the *next*
@@ -341,8 +368,8 @@ pub fn batch(
     let mut stalls = StallBreakdown::default();
 
     // Filter phase: stream centroids once, score B queries, write lists.
-    let total_visits: u64 = w.visits.iter().map(|v| v.len() as u64).sum();
-    chan.request(0, s.centroid_bytes() + 2 * total_visits * 3);
+    let total_visits = w.total_visits();
+    chan.request(0, s.centroid_bytes() + 2 * total_visits * QUERY_ID_BYTES);
     let filter_compute = s.filter_compute_cycles(cfg.n_cu) * b as f64;
     let mut cycle: u64 = 0;
     let mut compute_done = 0.0f64;
@@ -353,7 +380,7 @@ pub fn batch(
             stalls.cpm_busy += 1;
         }
         cycle += 1;
-        let data_done = chan.done(0, s.centroid_bytes() + 2 * total_visits * 3);
+        let data_done = chan.done(0, s.centroid_bytes() + 2 * total_visits * QUERY_ID_BYTES);
         if compute_done >= filter_compute && data_done {
             break;
         }
@@ -361,37 +388,22 @@ pub fn batch(
     }
     let filter_cycles = cycle;
 
-    // Per-round bookkeeping.
-    let mut rounds_per_query = vec![0usize; b];
-    for r in rounds {
-        for &q in &r.queries {
-            rounds_per_query[q] += 1;
-        }
-    }
     // Round r's memory demand: codes (if it fetches) + fills for resuming
-    // queries + the previous round's spills.
+    // queries + the previous round's spills. The fill/spill counts come
+    // straight from the plan, so the stepped channel moves exactly the
+    // bytes the `TrafficModel` prices.
+    let topk_units = plan.round_topk_units();
     let mut round_bytes = vec![0u64; n];
     let mut code_only = vec![0u64; n];
-    {
-        let mut seen_tmp = vec![0usize; b];
-        for (ri, r) in rounds.iter().enumerate() {
-            let mut bytes = 0u64;
-            if r.fetches_codes {
-                let cb = r.cluster_size as u64 * bytes_per_vec + CLUSTER_META_BYTES;
-                bytes += cb;
-                code_only[ri] = cb;
-            }
-            for &q in &r.queries {
-                if seen_tmp[q] > 0 {
-                    bytes += (s.k.min(cfg.topk) * g) as u64 * record; // fill
-                }
-                seen_tmp[q] += 1;
-                if seen_tmp[q] < rounds_per_query[q] {
-                    bytes += (s.k.min(cfg.topk) * g) as u64 * record; // spill
-                }
-            }
-            round_bytes[ri] = bytes;
+    for (ri, r) in rounds.iter().enumerate() {
+        let (fills, spills) = topk_units[ri];
+        let mut bytes = (fills + spills) * plan.spill_unit_bytes;
+        if r.fetches_codes {
+            let cb = r.cluster_size as u64 * bytes_per_vec + CLUSTER_META_BYTES;
+            bytes += cb;
+            code_only[ri] = cb;
         }
+        round_bytes[ri] = bytes;
     }
 
     // Stepped execution: issue round traffic when the double buffer frees
@@ -406,12 +418,17 @@ pub fn batch(
     let mut cpm_next = 0usize;
     let mut result_issued = false;
     let result_bytes = (b * s.k * cfg.topk_record_bytes) as u64;
+    let mut clusters_fetched = 0u64;
+    let mut scan_work = 0u64;
 
     while current < n || !result_issued || !chan.done(n + 1, result_bytes) {
         for ri in 0..n {
             if !issued[ri] && (ri < 2 || scan_complete[ri - 2]) {
                 chan.request(1 + ri, round_bytes[ri]);
                 issued[ri] = true;
+                if rounds[ri].fetches_codes {
+                    clusters_fetched += 1;
+                }
             }
         }
         chan.step();
@@ -459,6 +476,7 @@ pub fn batch(
                     && chan.done(1 + current, round_bytes[current])
                 {
                     scan_complete[current] = true;
+                    scan_work += r.cluster_size as u64;
                     current += 1;
                 }
             }
@@ -480,6 +498,8 @@ pub fn batch(
         filter_cycles,
         stalls,
         traffic_bytes: chan.total_bytes,
+        clusters_fetched,
+        scan_work,
     }
 }
 
@@ -584,7 +604,6 @@ mod tests {
 
     #[test]
     fn batched_mode_agrees_with_analytic() {
-        use crate::batch::ScmAllocation;
         use crate::timing::BatchWorkload;
         let cfg = AnnaConfig::paper();
         let workload = BatchWorkload {
@@ -620,7 +639,6 @@ mod tests {
     fn batched_l2_shows_lut_pressure_with_many_queries_per_round() {
         // Many queries per round at L2 means the CPM must fill many LUTs
         // per round; with a slow CPM the scan stalls on LUTs.
-        use crate::batch::ScmAllocation;
         use crate::timing::BatchWorkload;
         let slow_cpm = AnnaConfig {
             n_cu: 4,

@@ -13,8 +13,10 @@
 //! * [`engine::cycle`] — an event-driven per-module simulation with double
 //!   buffering and a serializing memory channel, cross-validated against
 //!   the analytic engine.
-//! * [`batch`] — the memory-traffic-optimization scheduler (Section IV):
-//!   cluster-major rounds, inter-/intra-query SCM allocation.
+//! * the shared plan layer (`anna-plan`, re-exported as [`plan`]) — the
+//!   memory-traffic-optimization scheduler (Section IV): cluster-major
+//!   rounds, inter-/intra-query SCM allocation, and the [`TrafficModel`]
+//!   that prices a plan in bytes before execution.
 //! * [`energy`] — the Table I area/power model and activity-based energy
 //!   accounting (Figure 10's inputs).
 //! * [`accel`] — [`Anna`]: the functional accelerator bound to a real
@@ -43,7 +45,6 @@
 #![deny(missing_docs)]
 
 pub mod accel;
-pub mod batch;
 pub mod config;
 pub mod device;
 pub mod energy;
@@ -54,7 +55,8 @@ pub mod pheap;
 pub mod timing;
 
 pub use accel::{scale_out, scale_out_qps, Anna, ScaleOutReport};
-pub use batch::{Round, Schedule, ScmAllocation};
+pub use anna_plan as plan;
+pub use anna_plan::{BatchPlan, PlanParams, Round, ScmAllocation, TrafficModel};
 pub use config::{AnnaConfig, ValidateConfigError};
 pub use energy::AreaPowerModel;
 pub use pheap::PHeap;

@@ -2,178 +2,18 @@
 //!
 //! ANNA's runtime depends on the workload only through shapes and sizes —
 //! `D`, `M`, `k*`, the metric, `|C|`, `k`, and the sizes of the clusters
-//! each query visits. [`SearchShape`], [`QueryWorkload`] and
-//! [`BatchWorkload`] capture exactly that, so the timing engines can run at
-//! full paper scale (N = 10⁹) without materializing data, while the
-//! functional accelerator ([`crate::accel`]) derives the same structures
-//! from a real index.
+//! each query visits. The workload types ([`SearchShape`],
+//! [`QueryWorkload`], [`BatchWorkload`]) and the byte-exact
+//! [`TrafficReport`] live in the shared plan layer (`anna-plan`) so the
+//! software engine prices the same structures; they are re-exported here
+//! for continuity. This module keeps the simulator-side outcome types:
+//! [`Activity`], [`Bound`] and [`TimingReport`].
 
-use anna_vector::Metric;
 use serde::{Deserialize, Serialize};
 
 use crate::config::AnnaConfig;
 
-/// The static shape of a search configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct SearchShape {
-    /// Vector dimension `D`.
-    pub d: usize,
-    /// PQ sub-vector count `M`.
-    pub m: usize,
-    /// Codewords per codebook `k*` (16 or 256).
-    pub kstar: usize,
-    /// Similarity metric (decides whether LUTs are rebuilt per cluster).
-    pub metric: Metric,
-    /// Total number of coarse clusters `|C|`.
-    pub num_clusters: usize,
-    /// Top-k entries tracked per query.
-    pub k: usize,
-}
-
-impl SearchShape {
-    /// Bits per encoded identifier, `log2 k*`.
-    pub fn code_bits(&self) -> u32 {
-        (usize::BITS - 1) - self.kstar.leading_zeros()
-    }
-
-    /// Bytes per encoded vector, `M · log2 k* / 8` (Section II-B).
-    pub fn encoded_bytes_per_vector(&self) -> usize {
-        (self.m * self.code_bits() as usize).div_ceil(8)
-    }
-
-    /// SCM cycles to score one encoded vector: `⌈M / N_u⌉`
-    /// (Section III-B(3): "when M=128 and N_u=64, the module will take two
-    /// cycles to process a single entry with pipelining").
-    pub fn scan_cycles_per_vector(&self, n_u: usize) -> u64 {
-        (self.m as u64).div_ceil(n_u as u64)
-    }
-
-    /// CPM cycles to fill one query's full set of `M` lookup tables:
-    /// `D·k*/N_cu` (Section III-B, Mode 3).
-    pub fn lut_fill_cycles(&self, n_cu: usize) -> f64 {
-        self.d as f64 * self.kstar as f64 / n_cu as f64
-    }
-
-    /// CPM cycles for the cluster-filtering step of one query:
-    /// `D·|C|/N_cu` (Section III-B, Mode 1).
-    pub fn filter_compute_cycles(&self, n_cu: usize) -> f64 {
-        self.d as f64 * self.num_clusters as f64 / n_cu as f64
-    }
-
-    /// Bytes of centroid data streamed during cluster filtering:
-    /// `2·D·|C|` at 2-byte elements.
-    pub fn centroid_bytes(&self) -> u64 {
-        2 * self.d as u64 * self.num_clusters as u64
-    }
-
-    /// Sanity-checks the shape.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the shape is degenerate (zero sizes, `k*` not 16/256, or
-    /// `M` not dividing `D`).
-    pub fn assert_valid(&self) {
-        assert!(self.d > 0 && self.m > 0 && self.num_clusters > 0 && self.k > 0);
-        assert!(
-            self.kstar == 16 || self.kstar == 256,
-            "ANNA supports k* of 16 and 256, got {}",
-            self.kstar
-        );
-        assert!(
-            self.d.is_multiple_of(self.m),
-            "M={} must divide D={}",
-            self.m,
-            self.d
-        );
-    }
-}
-
-/// A single query's timing-relevant workload: the sizes of the `W` clusters
-/// it visits.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct QueryWorkload {
-    /// Search shape.
-    pub shape: SearchShape,
-    /// Sizes `|C_i|` of the visited clusters, in visit order.
-    pub visited_cluster_sizes: Vec<usize>,
-}
-
-impl QueryWorkload {
-    /// `W`, the number of clusters visited.
-    pub fn w(&self) -> usize {
-        self.visited_cluster_sizes.len()
-    }
-
-    /// Encoded vectors scanned in total.
-    pub fn vectors_scanned(&self) -> u64 {
-        self.visited_cluster_sizes.iter().map(|&s| s as u64).sum()
-    }
-}
-
-/// A batched workload: cluster sizes plus each query's visit list.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct BatchWorkload {
-    /// Search shape.
-    pub shape: SearchShape,
-    /// All cluster sizes `|C_i|` (length `|C|`).
-    pub cluster_sizes: Vec<usize>,
-    /// Per-query visited cluster ids (each of length `W`).
-    pub visits: Vec<Vec<usize>>,
-}
-
-impl BatchWorkload {
-    /// Batch size `B`.
-    pub fn b(&self) -> usize {
-        self.visits.len()
-    }
-
-    /// Inverts the visit lists into per-cluster visitor lists (the
-    /// main-memory "array of arrays" of Section IV-A).
-    pub fn visitors_per_cluster(&self) -> Vec<Vec<usize>> {
-        let mut v: Vec<Vec<usize>> = vec![Vec::new(); self.cluster_sizes.len()];
-        for (q, visits) in self.visits.iter().enumerate() {
-            for &c in visits {
-                v[c].push(q);
-            }
-        }
-        v
-    }
-}
-
-/// Byte-level memory-traffic breakdown of a run.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
-pub struct TrafficReport {
-    /// Centroid stream during cluster filtering.
-    pub centroid_bytes: u64,
-    /// Cluster metadata reads (start address + size, 64 B lines).
-    pub cluster_meta_bytes: u64,
-    /// Encoded-vector fetches (the dominant term).
-    pub code_bytes: u64,
-    /// Intermediate top-k spill records written to memory (batched mode).
-    pub topk_spill_bytes: u64,
-    /// Intermediate top-k fill records read back from memory (batched
-    /// mode). Separated from spills so reads and writes price
-    /// independently, as Table I does.
-    pub topk_fill_bytes: u64,
-    /// Query-id list writes/reads for the traffic optimization
-    /// (Section IV-A).
-    pub query_list_bytes: u64,
-    /// Final result stores.
-    pub result_bytes: u64,
-}
-
-impl TrafficReport {
-    /// Total bytes moved.
-    pub fn total(&self) -> u64 {
-        self.centroid_bytes
-            + self.cluster_meta_bytes
-            + self.code_bytes
-            + self.topk_spill_bytes
-            + self.topk_fill_bytes
-            + self.query_list_bytes
-            + self.result_bytes
-    }
-}
+pub use anna_plan::{BatchWorkload, QueryWorkload, SearchShape, TrafficReport};
 
 /// Module activity counters, consumed by the energy model.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -212,6 +52,15 @@ pub struct TimingReport {
     pub traffic: TrafficReport,
     /// Module activity for the energy model.
     pub activity: Activity,
+    /// Distinct cluster code fetches (each cluster's codes stream from
+    /// memory once per fetch; equals the plan's
+    /// [`clusters_fetched`](anna_plan::BatchPlan::clusters_fetched) in
+    /// batched mode).
+    pub clusters_fetched: u64,
+    /// Encoded vectors scanned per SCM-group across all rounds (the plan's
+    /// [`total_scan_work`](anna_plan::BatchPlan::total_scan_work) in
+    /// batched mode).
+    pub scan_work: u64,
     /// Queries completed in this run.
     pub queries: usize,
 }
@@ -248,70 +97,6 @@ impl TimingReport {
 mod tests {
     use super::*;
 
-    fn shape() -> SearchShape {
-        SearchShape {
-            d: 128,
-            m: 64,
-            kstar: 256,
-            metric: Metric::L2,
-            num_clusters: 10_000,
-            k: 1000,
-        }
-    }
-
-    #[test]
-    fn encoded_bytes_match_paper() {
-        let s = shape();
-        assert_eq!(s.code_bits(), 8);
-        assert_eq!(s.encoded_bytes_per_vector(), 64);
-        let s16 = SearchShape {
-            kstar: 16,
-            m: 128,
-            ..s
-        };
-        assert_eq!(s16.code_bits(), 4);
-        assert_eq!(s16.encoded_bytes_per_vector(), 64);
-    }
-
-    #[test]
-    fn scan_cycles_match_section_3b_example() {
-        // "when M=128 and N_u=64, the module will take two cycles".
-        let s = SearchShape {
-            m: 128,
-            kstar: 16,
-            ..shape()
-        };
-        assert_eq!(s.scan_cycles_per_vector(64), 2);
-        assert_eq!(shape().scan_cycles_per_vector(64), 1);
-    }
-
-    #[test]
-    fn lut_fill_matches_formula() {
-        // D·k*/N_cu = 128·256/96.
-        let c = shape().lut_fill_cycles(96);
-        assert!((c - 128.0 * 256.0 / 96.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn filter_compute_matches_formula() {
-        let c = shape().filter_compute_cycles(96);
-        assert!((c - 128.0 * 10_000.0 / 96.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn traffic_total_sums_fields() {
-        let t = TrafficReport {
-            centroid_bytes: 1,
-            cluster_meta_bytes: 2,
-            code_bytes: 3,
-            topk_spill_bytes: 4,
-            topk_fill_bytes: 7,
-            query_list_bytes: 5,
-            result_bytes: 6,
-        };
-        assert_eq!(t.total(), 28);
-    }
-
     #[test]
     fn report_rates() {
         let cfg = AnnaConfig::paper();
@@ -322,33 +107,12 @@ mod tests {
             memory_cycles: 1.0,
             traffic: TrafficReport::default(),
             activity: Activity::default(),
+            clusters_fetched: 0,
+            scan_work: 0,
             queries: 10,
         };
         assert!((r.seconds(&cfg) - 1e-3).abs() < 1e-12);
         assert!((r.qps(&cfg) - 10_000.0).abs() < 1e-6);
         assert_eq!(r.bound(), Bound::Compute);
-    }
-
-    #[test]
-    fn visitors_invert_visits() {
-        let w = BatchWorkload {
-            shape: shape(),
-            cluster_sizes: vec![10, 20, 30],
-            visits: vec![vec![0, 2], vec![2]],
-        };
-        let v = w.visitors_per_cluster();
-        assert_eq!(v[0], vec![0]);
-        assert!(v[1].is_empty());
-        assert_eq!(v[2], vec![0, 1]);
-    }
-
-    #[test]
-    #[should_panic(expected = "k* of 16 and 256")]
-    fn invalid_kstar_rejected() {
-        SearchShape {
-            kstar: 32,
-            ..shape()
-        }
-        .assert_valid();
     }
 }

@@ -4,7 +4,7 @@
 use anna_core::engine::{analytic, cycle, stepped};
 use anna_core::host::MemoryLayout;
 use anna_core::{
-    batch, AnnaConfig, BatchWorkload, PHeap, QueryWorkload, ScmAllocation, SearchShape,
+    plan, AnnaConfig, BatchWorkload, PHeap, QueryWorkload, ScmAllocation, SearchShape,
 };
 use anna_index::{IvfPqConfig, IvfPqIndex};
 use anna_testkit::{forall, TestRng};
@@ -126,8 +126,8 @@ fn schedule_is_a_partition() {
                 })
                 .collect(),
         };
-        let schedule = batch::plan(
-            &cfg,
+        let schedule = plan::plan(
+            &cfg.plan_params(),
             &workload,
             ScmAllocation::IntraQuery { scm_per_query: g },
         );

@@ -8,6 +8,12 @@
 //! single time and scored against every visiting query (at most `|C|`
 //! cluster loads per batch).
 //!
+//! The schedule itself is a shared-IR [`BatchPlan`] from `anna-plan` — the
+//! *same* plan the accelerator simulators execute — built here with
+//! [`BatchPlan::from_visitors`] for the plain software path, or supplied
+//! by the caller via [`BatchedScan::run_plan`] for exact cross-validation
+//! against the timing engines.
+//!
 //! The paper observes Faiss16's CPU implementation uses this schedule,
 //! which is why it is the fastest CPU baseline; we use the same code for
 //! our CPU measurements and reuse its bookkeeping in the accelerator model.
@@ -16,6 +22,7 @@ use crate::ivf::IvfPqIndex;
 use crate::lut::Lut;
 use crate::parallel::{self, BatchExec};
 use crate::SearchParams;
+use anna_plan::{BatchPlan, BatchWorkload, PlanParams, SearchShape};
 use anna_telemetry::Telemetry;
 use anna_vector::{Metric, Neighbor, TopK, VectorSet};
 use serde::{Deserialize, Serialize};
@@ -23,16 +30,22 @@ use serde::{Deserialize, Serialize};
 /// Memory-traffic bookkeeping for one batch, in the units of Figure 5.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct BatchStats {
-    /// Clusters actually loaded (each counted once; `≤ |C|`).
-    pub clusters_loaded: u64,
+    /// Clusters actually fetched (each counted once; `≤ |C|`).
+    pub clusters_fetched: u64,
     /// Encoded-vector bytes read under the cluster-major schedule.
-    pub code_bytes_loaded: u64,
+    pub code_bytes: u64,
     /// Total (query, cluster) visits — `B·|W|`; the conventional schedule
-    /// would load this many clusters.
+    /// would fetch this many clusters.
     pub query_cluster_visits: u64,
     /// Encoded-vector bytes the conventional (query-major) schedule would
     /// have read.
     pub conventional_code_bytes: u64,
+    /// Intermediate top-k records written out when a query's scan is
+    /// interrupted by a round boundary (Section IV-C).
+    pub topk_spill_bytes: u64,
+    /// Intermediate top-k records read back at the start of a query's
+    /// later rounds.
+    pub topk_fill_bytes: u64,
 }
 
 impl BatchStats {
@@ -40,17 +53,19 @@ impl BatchStats {
     /// (`conventional / optimized`; the paper's example: B=1000, |C|=10000,
     /// |W|=128 gives 12.8×).
     pub fn traffic_reduction(&self) -> f64 {
-        self.conventional_code_bytes as f64 / self.code_bytes_loaded.max(1) as f64
+        self.conventional_code_bytes as f64 / self.code_bytes.max(1) as f64
     }
 
     /// Adds another partial count into this one. All fields are plain
     /// sums, so accumulation is commutative and associative — per-worker
     /// partials merge to the same totals in any order.
     pub fn accumulate(&mut self, other: &BatchStats) {
-        self.clusters_loaded += other.clusters_loaded;
-        self.code_bytes_loaded += other.code_bytes_loaded;
+        self.clusters_fetched += other.clusters_fetched;
+        self.code_bytes += other.code_bytes;
         self.query_cluster_visits += other.query_cluster_visits;
         self.conventional_code_bytes += other.conventional_code_bytes;
+        self.topk_spill_bytes += other.topk_spill_bytes;
+        self.topk_fill_bytes += other.topk_fill_bytes;
     }
 }
 
@@ -97,11 +112,42 @@ impl<'a> BatchedScan<'a> {
         visiting
     }
 
+    /// Describes this batch as a plan-layer [`BatchWorkload`]: the index's
+    /// shape and cluster sizes plus each query's visited-cluster list (in
+    /// filter rank order, exactly the clusters the software scan scores).
+    ///
+    /// Feed the result to [`anna_plan::plan`] and pass the plan back to
+    /// [`BatchedScan::run_plan`] to execute the *same* schedule the timing
+    /// engines price.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries.dim() != index.dim()`.
+    pub fn workload(&self, queries: &VectorSet, params: &SearchParams) -> BatchWorkload {
+        assert_eq!(queries.dim(), self.index.dim(), "query dimension mismatch");
+        let book = self.index.codebook();
+        BatchWorkload {
+            shape: SearchShape {
+                d: self.index.dim(),
+                m: book.m(),
+                kstar: book.kstar(),
+                metric: self.index.metric(),
+                num_clusters: self.index.num_clusters(),
+                k: params.k,
+            },
+            cluster_sizes: self.index.cluster_sizes(),
+            visits: queries
+                .iter()
+                .map(|q| self.index.filter_clusters(q, params.nprobe))
+                .collect(),
+        }
+    }
+
     /// Runs the batch and returns per-query results (query order, best
     /// first) plus traffic statistics.
     ///
     /// Uses the default execution config: one worker per available core,
-    /// one tile per visited cluster. Results are bit-identical to running
+    /// one round per visited cluster. Results are bit-identical to running
     /// [`IvfPqIndex::search`] per query, and to [`BatchedScan::run_serial`]
     /// — only the schedule differs (see [`crate::parallel`] for why).
     ///
@@ -132,10 +178,11 @@ impl<'a> BatchedScan<'a> {
 
     /// Runs the batch under an explicit execution config.
     ///
-    /// The batch is cut into crossbar tiles
-    /// ([`crate::parallel::crossbar_tiles`]) and executed by
-    /// `exec.resolved_threads()` scoped workers; neighbors and aggregated
-    /// [`BatchStats`] are independent of the thread count and tile bound.
+    /// The batch is planned with [`BatchPlan::from_visitors`] (one round
+    /// per visited cluster, split by `exec.queries_per_group`) and executed
+    /// by `exec.resolved_threads()` scoped workers; neighbors and
+    /// aggregated [`BatchStats`] are independent of the thread count and
+    /// group bound.
     ///
     /// # Panics
     ///
@@ -152,13 +199,13 @@ impl<'a> BatchedScan<'a> {
     /// [`BatchedScan::run_with`] with a telemetry sink.
     ///
     /// When `tel` is enabled, each pipeline stage is timed as a span —
-    /// `batch.plan` (cluster filtering + inversion), `batch.lut_build`
-    /// (shared inner-product base tables), per-tile `batch.tile_scan`
-    /// windows on a per-worker timeline, and `batch.merge` (folding the
-    /// per-worker accumulators) — and the aggregate [`BatchStats`] are
-    /// bridged into the snapshot as `batch.*` counters. Telemetry only
-    /// reads clocks and bumps atomics, so results and stats are
-    /// bit-identical to the uninstrumented run.
+    /// `batch.plan` (cluster filtering + inversion + plan construction),
+    /// `batch.lut_build` (shared inner-product base tables), per-round
+    /// `batch.tile_scan` windows on a per-worker timeline, and
+    /// `batch.merge` (folding the per-worker accumulators) — and the
+    /// aggregate [`BatchStats`] are bridged into the snapshot as `plan.*`
+    /// counters. Telemetry only reads clocks and bumps atomics, so results
+    /// and stats are bit-identical to the uninstrumented run.
     ///
     /// # Panics
     ///
@@ -171,13 +218,62 @@ impl<'a> BatchedScan<'a> {
         tel: &Telemetry,
     ) -> (Vec<Vec<Neighbor>>, BatchStats) {
         assert_eq!(queries.dim(), self.index.dim(), "query dimension mismatch");
-        let visiting = {
+        let plan = {
             let _span = tel.span("batch.plan");
-            self.plan(queries, params.nprobe)
+            let visiting = self.plan(queries, params.nprobe);
+            // The software engine runs whole query groups per worker
+            // (g = 1), and its per-query heaps hold the full k records
+            // requested — so a spill prices k records at the paper's
+            // packed record size.
+            let record = PlanParams::default().topk_record_bytes as u64;
+            BatchPlan::from_visitors(
+                &visiting,
+                &self.index.cluster_sizes(),
+                exec.queries_per_group,
+                params.k as u64 * record,
+            )
         };
+        self.execute_plan(queries, params, &plan, exec.resolved_threads(), tel)
+    }
 
+    /// Executes a caller-supplied [`BatchPlan`] — the exact-cross-validation
+    /// entry point: hand this the same plan a timing engine prices and the
+    /// measured [`BatchStats`] bytes equal the predicted
+    /// [`anna_plan::TrafficModel`] bytes, component for component.
+    ///
+    /// The plan must have been built for this index and query set (e.g.
+    /// from [`BatchedScan::workload`] via [`anna_plan::plan`]): round
+    /// cluster ids index this index's clusters and round query ids index
+    /// `queries`. Results remain bit-identical to the serial software
+    /// schedule for any `threads` and any round splitting, because every
+    /// (query, cluster) visit appears in exactly one round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries.dim() != index.dim()` or the plan references an
+    /// out-of-range cluster or query.
+    pub fn run_plan(
+        &self,
+        queries: &VectorSet,
+        params: &SearchParams,
+        plan: &BatchPlan,
+        threads: usize,
+        tel: &Telemetry,
+    ) -> (Vec<Vec<Neighbor>>, BatchStats) {
+        assert_eq!(queries.dim(), self.index.dim(), "query dimension mismatch");
+        self.execute_plan(queries, params, plan, threads, tel)
+    }
+
+    fn execute_plan(
+        &self,
+        queries: &VectorSet,
+        params: &SearchParams,
+        plan: &BatchPlan,
+        threads: usize,
+        tel: &Telemetry,
+    ) -> (Vec<Vec<Neighbor>>, BatchStats) {
         // Shared inner-product base tables (cluster-invariant) per query;
-        // L2 tables are cluster-specific and built inside the tile scans.
+        // L2 tables are cluster-specific and built inside the round scans.
         let ip_base: Option<Vec<Lut>> = {
             let _span = tel.span("batch.lut_build");
             match self.index.metric() {
@@ -191,24 +287,25 @@ impl<'a> BatchedScan<'a> {
             }
         };
 
-        let tiles = parallel::crossbar_tiles(&visiting, exec.queries_per_group);
-        let (merged, stats) = parallel::execute_tiles(
+        let (merged, stats) = parallel::execute_rounds(
             self.index,
             queries,
             params,
             ip_base.as_deref(),
-            &tiles,
-            exec.resolved_threads(),
+            plan,
+            threads,
             tel,
         );
-        tel.counter_add("batch.queries", queries.len() as u64);
-        tel.counter_add("batch.clusters_loaded", stats.clusters_loaded);
-        tel.counter_add("batch.code_bytes_loaded", stats.code_bytes_loaded);
-        tel.counter_add("batch.query_cluster_visits", stats.query_cluster_visits);
+        tel.counter_add("plan.queries", queries.len() as u64);
+        tel.counter_add("plan.clusters_fetched", stats.clusters_fetched);
+        tel.counter_add("plan.code_bytes", stats.code_bytes);
+        tel.counter_add("plan.query_cluster_visits", stats.query_cluster_visits);
         tel.counter_add(
-            "batch.conventional_code_bytes",
+            "plan.conventional_code_bytes",
             stats.conventional_code_bytes,
         );
+        tel.counter_add("plan.topk_spill_bytes", stats.topk_spill_bytes);
+        tel.counter_add("plan.topk_fill_bytes", stats.topk_fill_bytes);
         (
             merged.into_iter().map(TopK::into_sorted_vec).collect(),
             stats,
@@ -285,8 +382,8 @@ mod tests {
             lut_precision: LutPrecision::F32,
         };
         let (_, stats) = BatchedScan::new(&index).run(&queries, &params);
-        assert!(stats.code_bytes_loaded <= stats.conventional_code_bytes);
-        assert!(stats.clusters_loaded as usize <= index.num_clusters());
+        assert!(stats.code_bytes <= stats.conventional_code_bytes);
+        assert!(stats.clusters_fetched as usize <= index.num_clusters());
         assert_eq!(stats.query_cluster_visits, 64 * 6);
         assert!(stats.traffic_reduction() >= 1.0);
     }
@@ -327,6 +424,41 @@ mod tests {
     }
 
     #[test]
+    fn workload_inverts_to_the_same_visitor_lists() {
+        let (data, index) = build(Metric::L2);
+        let queries = data.gather(&[0, 8, 16, 24]);
+        let params = SearchParams {
+            nprobe: 3,
+            k: 2,
+            lut_precision: LutPrecision::F32,
+        };
+        let scan = BatchedScan::new(&index);
+        let w = scan.workload(&queries, &params);
+        assert_eq!(w.b(), 4);
+        assert_eq!(w.shape.m, 4);
+        assert_eq!(w.shape.kstar, 16);
+        assert_eq!(w.visitors_per_cluster(), scan.plan(&queries, params.nprobe));
+    }
+
+    #[test]
+    fn topk_spill_accounting_prices_round_crossings() {
+        // With one round per visited cluster (group bound 0), a query
+        // probing W clusters crosses W-1 round boundaries, each worth a
+        // k-record spill and fill at 5 B per record.
+        let (data, index) = build(Metric::L2);
+        let queries = data.gather(&(0..16).collect::<Vec<_>>());
+        let params = SearchParams {
+            nprobe: 4,
+            k: 3,
+            lut_precision: LutPrecision::F32,
+        };
+        let (_, stats) = BatchedScan::new(&index).run_serial(&queries, &params);
+        let expected = 16 * (4 - 1) * (3 * 5) as u64;
+        assert_eq!(stats.topk_spill_bytes, expected);
+        assert_eq!(stats.topk_fill_bytes, expected);
+    }
+
+    #[test]
     fn traffic_reduction_reproduces_paper_example() {
         // Section IV's example: B = 1000 queries, |C| = 10000 clusters,
         // |W| = 128 probes. The conventional schedule loads B·|W| clusters;
@@ -334,10 +466,11 @@ mod tests {
         // uniform cluster bytes z: reduction = 1000·128·z / 10000·z = 12.8.
         let z = 64u64; // bytes per cluster (arbitrary, cancels out)
         let stats = BatchStats {
-            clusters_loaded: 10_000,
-            code_bytes_loaded: 10_000 * z,
+            clusters_fetched: 10_000,
+            code_bytes: 10_000 * z,
             query_cluster_visits: 1000 * 128,
             conventional_code_bytes: 1000 * 128 * z,
+            ..BatchStats::default()
         };
         assert!((stats.traffic_reduction() - 12.8).abs() < 1e-9);
     }
@@ -349,10 +482,11 @@ mod tests {
         let zero = BatchStats::default();
         assert_eq!(zero.traffic_reduction(), 0.0);
         let empty_clusters = BatchStats {
-            clusters_loaded: 3,
-            code_bytes_loaded: 0,
+            clusters_fetched: 3,
+            code_bytes: 0,
             query_cluster_visits: 7,
             conventional_code_bytes: 0,
+            ..BatchStats::default()
         };
         let r = empty_clusters.traffic_reduction();
         assert!(r.is_finite());
@@ -362,25 +496,31 @@ mod tests {
     #[test]
     fn stats_accumulate_is_a_field_wise_sum() {
         let mut a = BatchStats {
-            clusters_loaded: 1,
-            code_bytes_loaded: 10,
+            clusters_fetched: 1,
+            code_bytes: 10,
             query_cluster_visits: 3,
             conventional_code_bytes: 30,
+            topk_spill_bytes: 5,
+            topk_fill_bytes: 5,
         };
         let b = BatchStats {
-            clusters_loaded: 2,
-            code_bytes_loaded: 20,
+            clusters_fetched: 2,
+            code_bytes: 20,
             query_cluster_visits: 4,
             conventional_code_bytes: 80,
+            topk_spill_bytes: 10,
+            topk_fill_bytes: 15,
         };
         a.accumulate(&b);
         assert_eq!(
             a,
             BatchStats {
-                clusters_loaded: 3,
-                code_bytes_loaded: 30,
+                clusters_fetched: 3,
+                code_bytes: 30,
                 query_cluster_visits: 7,
                 conventional_code_bytes: 110,
+                topk_spill_bytes: 15,
+                topk_fill_bytes: 20,
             }
         );
     }
@@ -427,12 +567,40 @@ mod tests {
     }
 
     #[test]
+    fn run_plan_matches_run_with_for_the_same_tiling() {
+        let (data, index) = build(Metric::L2);
+        let queries = data.gather(&(0..24).collect::<Vec<_>>());
+        let params = SearchParams {
+            nprobe: 4,
+            k: 3,
+            lut_precision: LutPrecision::F32,
+        };
+        let scan = BatchedScan::new(&index);
+        let (reference, _) = scan.run_serial(&queries, &params);
+        let w = scan.workload(&queries, &params);
+        let plan = anna_plan::plan(
+            &PlanParams::default(),
+            &w,
+            anna_plan::ScmAllocation::InterQuery,
+        );
+        for threads in [1usize, 2, 4, 8] {
+            let (got, stats) =
+                scan.run_plan(&queries, &params, &plan, threads, &Telemetry::disabled());
+            assert_eq!(got, reference, "{threads} threads diverged from serial");
+            assert_eq!(stats.clusters_fetched, plan.clusters_fetched());
+            let (fills, spills) = plan.total_topk_units();
+            assert_eq!(stats.topk_fill_bytes, fills * plan.spill_unit_bytes);
+            assert_eq!(stats.topk_spill_bytes, spills * plan.spill_unit_bytes);
+        }
+    }
+
+    #[test]
     fn empty_batch_is_fine() {
         let (_, index) = build(Metric::L2);
         let queries = VectorSet::zeros(8, 0);
         let params = SearchParams::default();
         let (res, stats) = BatchedScan::new(&index).run(&queries, &params);
         assert!(res.is_empty());
-        assert_eq!(stats.clusters_loaded, 0);
+        assert_eq!(stats.clusters_fetched, 0);
     }
 }

@@ -21,8 +21,8 @@
 //!   each cluster's codes are read once per batch (the software analogue of
 //!   ANNA's memory-traffic optimization, and of Faiss16's CPU schedule,
 //!   which the paper notes "processes queries in a way that is similar to
-//!   ANNA memory traffic optimization"). The batched path runs on a
-//!   deterministic worker pool over crossbar-style work tiles
+//!   ANNA memory traffic optimization"). The batched path executes a
+//!   shared `anna_plan::BatchPlan` on a deterministic worker pool
 //!   ([`parallel`]): results are bit-identical for any thread count.
 //!
 //! Measured on the host, this crate *is* the reproduction's CPU baseline
@@ -62,7 +62,11 @@ pub use io::{read_index, write_index};
 pub use ivf::{IndexStats, IvfPqConfig, IvfPqIndex, SearchStats, Trainer};
 pub use kernels::{KernelDispatch, ScanScratch, ScanTally};
 pub use lut::{Lut, LutPrecision};
-pub use parallel::{crossbar_tiles, BatchExec, ClusterTile};
+pub use parallel::BatchExec;
+
+// The crossbar tiling moved into the shared plan layer (`anna-plan`);
+// re-exported here so software-side callers keep one import path.
+pub use anna_plan::{crossbar_tiles, ClusterTile};
 
 use serde::{Deserialize, Serialize};
 

@@ -1,17 +1,14 @@
-//! Work-tiling and the deterministic worker pool behind [`BatchedScan`].
+//! The deterministic worker pool behind [`BatchedScan`].
 //!
 //! ANNA's batch engine assigns work to its 16 similarity-computation
 //! modules (SCMs) through a crossbar: the cluster-major schedule is cut
 //! into *(cluster, query-group)* tiles, and each tile is routed to an SCM
-//! group (Section IV-A). This module reproduces that assignment in
-//! software:
+//! group (Section IV-A). The tiling itself lives in the shared plan layer
+//! ([`anna_plan::crossbar_tiles`] / [`anna_plan::plan`]); this module
+//! executes a plan's [`Round`]s in software:
 //!
-//! * [`crossbar_tiles`] cuts a batch's per-cluster visitor lists into
-//!   [`ClusterTile`]s — the **same** tiling the accelerator model's
-//!   `anna_core::batch::plan` turns into timed rounds, so the software
-//!   engine and the simulator agree on work placement by construction.
-//! * [`execute_tiles`] runs the tiles on a scoped-thread worker pool.
-//!   Workers pull tiles off a shared atomic cursor (dynamic
+//! * `execute_rounds` runs the rounds on a scoped-thread worker pool.
+//!   Workers pull rounds off a shared atomic cursor (dynamic
 //!   self-scheduling, like the crossbar arbitrating SCM groups), score
 //!   them with the ADC kernels into per-worker [`TopK`] accumulators, and
 //!   the accumulators are merged after the pool joins.
@@ -21,19 +18,20 @@
 //! The merged result is **bit-identical to the serial schedule regardless
 //! of thread count or OS scheduling**, because:
 //!
-//! 1. Every `(cluster, query)` visit lands in exactly one tile, so each
+//! 1. Every `(cluster, query)` visit lands in exactly one round, so each
 //!    query sees the same candidate multiset under any partition.
 //! 2. Scores are schedule-invariant: the lookup table for a
-//!    `(query, cluster)` pair is built from scratch inside the tile that
+//!    `(query, cluster)` pair is built from scratch inside the round that
 //!    scores it, and the per-vector lookup sum runs in code order within
-//!    the cluster — no accumulation crosses a tile boundary.
+//!    the cluster — no accumulation crosses a round boundary.
 //! 3. Candidate ids are unique per query and [`TopK`]'s order is total
 //!    (higher score first, ties to the lower id, NaN rejected), so the
 //!    kept top-k *set* is a pure function of the candidate multiset and
 //!    [`TopK::merge`] is commutative and associative.
 //!
-//! Per-tile [`BatchStats`] are `u64` sums, so they too are
-//! partition-invariant.
+//! Per-round [`BatchStats`] are `u64` sums, and the intermediate top-k
+//! spill/fill accounting depends only on how many rounds each query
+//! participates in, so the stats too are partition-invariant.
 //!
 //! [`BatchedScan`]: crate::batched::BatchedScan
 
@@ -42,65 +40,21 @@ use crate::ivf::IvfPqIndex;
 use crate::kernels;
 use crate::lut::Lut;
 use crate::SearchParams;
+use anna_plan::{BatchPlan, Round};
 use anna_telemetry::Telemetry;
 use anna_vector::{metric, TopK, VectorSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// One unit of batch work: one query group scored against one cluster —
-/// the software mirror of a crossbar grant to an SCM group (and of one
-/// timed `Round` in `anna_core::batch`).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ClusterTile {
-    /// Cluster whose codes this tile scans.
-    pub cluster: usize,
-    /// Queries scored in this tile (ascending, `≤ queries_per_tile`).
-    pub queries: Vec<usize>,
-    /// Whether this is the first tile of its cluster — the one that pays
-    /// the code fetch (later tiles of the same cluster reuse the buffer).
-    pub fetches_codes: bool,
-}
-
-/// Cuts per-cluster visitor lists into cluster-major [`ClusterTile`]s.
-///
-/// `visiting[c]` lists the queries visiting cluster `c` (the inverted
-/// "array of arrays" of Section IV-A, as produced by
-/// [`BatchedScan::plan`](crate::batched::BatchedScan::plan)). Clusters
-/// with no visitors produce no tiles. `queries_per_tile` bounds the query
-/// group per tile — the accelerator uses `N_SCM / g`; `0` means unbounded
-/// (one tile per visited cluster, which is what the software engine wants
-/// since a thread scores its whole query group anyway).
-pub fn crossbar_tiles(visiting: &[Vec<usize>], queries_per_tile: usize) -> Vec<ClusterTile> {
-    let cap = if queries_per_tile == 0 {
-        usize::MAX
-    } else {
-        queries_per_tile
-    };
-    let mut tiles = Vec::new();
-    for (cluster, qs) in visiting.iter().enumerate() {
-        if qs.is_empty() {
-            continue;
-        }
-        for (chunk_idx, chunk) in qs.chunks(cap).enumerate() {
-            tiles.push(ClusterTile {
-                cluster,
-                queries: chunk.to_vec(),
-                fetches_codes: chunk_idx == 0,
-            });
-        }
-    }
-    tiles
-}
-
 /// Execution knobs for the parallel batch engine.
 ///
 /// The default (`threads: 0, queries_per_group: 0`) runs one worker per
-/// available core with one tile per visited cluster.
+/// available core with one round per visited cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct BatchExec {
     /// Worker threads; `0` means one per available core.
     pub threads: usize,
-    /// Query-group bound per tile (`0` = whole cluster in one tile).
+    /// Query-group bound per round (`0` = whole cluster in one round).
     /// Smaller groups expose more parallelism for skewed batches at the
     /// cost of extra merge work; the accelerator analogue is `N_SCM / g`.
     pub queries_per_group: usize,
@@ -136,54 +90,58 @@ impl BatchExec {
 }
 
 /// Per-worker accumulator: one optional [`TopK`] per batch query plus the
-/// worker's share of the traffic statistics, the worker's scan-kernel
-/// tally, and the reusable kernel scratch that keeps the hot loop
-/// allocation-free across every tile the worker drains.
-struct TileAccum {
+/// worker's share of the traffic statistics, a per-query count of the
+/// rounds the worker scored (for the spill/fill accounting), the worker's
+/// scan-kernel tally, and the reusable kernel scratch that keeps the hot
+/// loop allocation-free across every round the worker drains.
+struct RoundAccum {
     tops: Vec<Option<TopK>>,
+    rounds_scored: Vec<u64>,
     stats: BatchStats,
     tally: kernels::ScanTally,
     scratch: kernels::ScanScratch,
 }
 
-impl TileAccum {
+impl RoundAccum {
     fn new(nq: usize) -> Self {
         Self {
             tops: (0..nq).map(|_| None).collect(),
+            rounds_scored: vec![0; nq],
             stats: BatchStats::default(),
             tally: kernels::ScanTally::default(),
             scratch: kernels::ScanScratch::new(),
         }
     }
 
-    /// Scores one tile: fetch-flagged tiles account the cluster load,
-    /// every tile accounts its visits, and each query's lookup table is
+    /// Scores one round: fetch-flagged rounds account the cluster load,
+    /// every round accounts its visits, and each query's lookup table is
     /// built and scanned exactly as the serial path would.
-    fn score_tile(
+    fn score_round(
         &mut self,
         index: &IvfPqIndex,
         queries: &VectorSet,
         params: &SearchParams,
         ip_base: Option<&[Lut]>,
-        tile: &ClusterTile,
+        round: &Round,
         dispatch: kernels::KernelDispatch,
     ) {
-        let cluster = index.cluster(tile.cluster);
+        let cluster = index.cluster(round.cluster);
         let bytes = cluster.encoded_bytes();
-        if tile.fetches_codes {
-            self.stats.clusters_loaded += 1;
-            self.stats.code_bytes_loaded += bytes;
+        if round.fetches_codes {
+            self.stats.clusters_fetched += 1;
+            self.stats.code_bytes += bytes;
         }
-        self.stats.query_cluster_visits += tile.queries.len() as u64;
-        self.stats.conventional_code_bytes += bytes * tile.queries.len() as u64;
+        self.stats.query_cluster_visits += round.queries.len() as u64;
+        self.stats.conventional_code_bytes += bytes * round.queries.len() as u64;
 
-        for &qi in &tile.queries {
+        for &qi in &round.queries {
+            self.rounds_scored[qi] += 1;
             let q = queries.row(qi);
             let lut = match ip_base {
                 Some(base) => {
-                    base[qi].with_bias(metric::dot(q, index.centroids().row(tile.cluster)))
+                    base[qi].with_bias(metric::dot(q, index.centroids().row(round.cluster)))
                 }
-                None => index.build_lut(q, tile.cluster, params),
+                None => index.build_lut(q, round.cluster, params),
             };
             let top = self.tops[qi].get_or_insert_with(|| TopK::new(params.k));
             let tally = kernels::scan_with(
@@ -199,39 +157,39 @@ impl TileAccum {
     }
 }
 
-/// Drains tiles off the shared `cursor` into a fresh accumulator — the
+/// Drains rounds off the shared `cursor` into a fresh accumulator — the
 /// body of one worker.
 ///
-/// When `tel` is enabled, every tile's scan window is measured and
+/// When `tel` is enabled, every round's scan window is measured and
 /// buffered locally, then flushed in one burst after the drain: the hot
 /// loop never touches the registry, so instrumentation cannot perturb the
-/// tile race (and the output is schedule-invariant anyway, see the module
+/// round race (and the output is schedule-invariant anyway, see the module
 /// docs). Per worker this records `worker<w>.tiles` /
 /// `worker<w>.busy_ns` / `worker<w>.idle_ns` counters, the worker's share
 /// of `kernel.codes_scanned` / `kernel.pruned`, plus one
-/// `batch.tile_scan` trace event per tile on thread lane `w`.
+/// `batch.tile_scan` trace event per round on thread lane `w`.
 #[allow(clippy::too_many_arguments)]
-fn drain_tiles(
+fn drain_rounds(
     index: &IvfPqIndex,
     queries: &VectorSet,
     params: &SearchParams,
     ip_base: Option<&[Lut]>,
-    tiles: &[ClusterTile],
+    rounds: &[Round],
     cursor: &AtomicUsize,
     worker: u64,
     dispatch: kernels::KernelDispatch,
     tel: &Telemetry,
-) -> TileAccum {
-    let mut acc = TileAccum::new(queries.len());
+) -> RoundAccum {
+    let mut acc = RoundAccum::new(queries.len());
     let timed = tel.is_enabled();
     let begin = tel.now_ns();
     let mut busy = 0u64;
     let mut windows: Vec<(u64, u64)> = Vec::new();
     loop {
         let i = cursor.fetch_add(1, Ordering::Relaxed);
-        let Some(tile) = tiles.get(i) else { break };
+        let Some(round) = rounds.get(i) else { break };
         let start = if timed { tel.now_ns() } else { 0 };
-        acc.score_tile(index, queries, params, ip_base, tile, dispatch);
+        acc.score_round(index, queries, params, ip_base, round, dispatch);
         if timed {
             let dur = tel.now_ns().saturating_sub(start);
             busy += dur;
@@ -253,31 +211,46 @@ fn drain_tiles(
     acc
 }
 
-/// Runs `tiles` on `threads` scoped workers and merges the per-worker
-/// accumulators into one [`TopK`] per query plus aggregate [`BatchStats`].
+/// Runs a plan's rounds on `threads` scoped workers and merges the
+/// per-worker accumulators into one [`TopK`] per query plus aggregate
+/// [`BatchStats`].
+///
+/// `plan.spill_unit_bytes` prices the intermediate top-k spill/fill records
+/// (Section IV-C): every round a query participates in after its first
+/// fills its partial top-k from memory and every round before its last
+/// spills it back, so a query scored in `r` rounds accounts
+/// `(r − 1) · spill_unit_bytes` of fill traffic and the same of spill
+/// traffic. The counts are measured from the rounds each worker actually
+/// scored; since they depend only on how many rounds a query appears in,
+/// the totals are independent of thread count and round order.
 ///
 /// See the module docs for why the output is independent of `threads` and
 /// of how the OS schedules the workers. `tel` adds per-worker utilization
-/// counters and a per-tile timeline when enabled (see [`drain_tiles`]);
+/// counters and a per-round timeline when enabled (see [`drain_rounds`]);
 /// pass [`Telemetry::disabled`] for the uninstrumented path.
-pub(crate) fn execute_tiles(
+pub(crate) fn execute_rounds(
     index: &IvfPqIndex,
     queries: &VectorSet,
     params: &SearchParams,
     ip_base: Option<&[Lut]>,
-    tiles: &[ClusterTile],
+    plan: &BatchPlan,
     threads: usize,
     tel: &Telemetry,
 ) -> (Vec<TopK>, BatchStats) {
+    let rounds: &[Round] = &plan.rounds;
     let nq = queries.len();
     let mut merged: Vec<TopK> = (0..nq).map(|_| TopK::new(params.k)).collect();
     let mut stats = BatchStats::default();
+    let mut rounds_per_query = vec![0u64; nq];
 
-    let fold = |acc: TileAccum, merged: &mut Vec<TopK>, stats: &mut BatchStats| {
+    let mut fold = |acc: RoundAccum, merged: &mut Vec<TopK>, stats: &mut BatchStats| {
         for (qi, top) in acc.tops.into_iter().enumerate() {
             if let Some(top) = top {
                 merged[qi].merge(&top);
             }
+        }
+        for (qi, &n) in acc.rounds_scored.iter().enumerate() {
+            rounds_per_query[qi] += n;
         }
         stats.accumulate(&acc.stats);
     };
@@ -286,25 +259,25 @@ pub(crate) fn execute_tiles(
     if tel.is_enabled() {
         tel.counter_add(&format!("kernel.dispatch.{}", dispatch.name()), 1);
     }
-    let workers = threads.max(1).min(tiles.len().max(1));
+    let workers = threads.max(1).min(rounds.len().max(1));
     let cursor = AtomicUsize::new(0);
     if workers <= 1 {
-        let acc = drain_tiles(
-            index, queries, params, ip_base, tiles, &cursor, 0, dispatch, tel,
+        let acc = drain_rounds(
+            index, queries, params, ip_base, rounds, &cursor, 0, dispatch, tel,
         );
         let _merge = tel.span("batch.merge");
         fold(acc, &mut merged, &mut stats);
     } else {
         // Dynamic self-scheduling: workers race on an atomic cursor, so a
         // thread stuck on a large cluster doesn't strand the tail of the
-        // tile list behind it.
-        let done: Mutex<Vec<TileAccum>> = Mutex::new(Vec::with_capacity(workers));
+        // round list behind it.
+        let done: Mutex<Vec<RoundAccum>> = Mutex::new(Vec::with_capacity(workers));
         std::thread::scope(|s| {
             for w in 0..workers {
                 let (cursor, done) = (&cursor, &done);
                 s.spawn(move || {
-                    let acc = drain_tiles(
-                        index, queries, params, ip_base, tiles, cursor, w as u64, dispatch, tel,
+                    let acc = drain_rounds(
+                        index, queries, params, ip_base, rounds, cursor, w as u64, dispatch, tel,
                     );
                     done.lock().expect("worker poisoned accumulators").push(acc);
                 });
@@ -315,68 +288,17 @@ pub(crate) fn execute_tiles(
             fold(acc, &mut merged, &mut stats);
         }
     }
+    for &r in &rounds_per_query {
+        let boundary_crossings = r.saturating_sub(1);
+        stats.topk_fill_bytes += boundary_crossings * plan.spill_unit_bytes;
+        stats.topk_spill_bytes += boundary_crossings * plan.spill_unit_bytes;
+    }
     (merged, stats)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn tiles_skip_empty_clusters_and_split_large_ones() {
-        let visiting = vec![vec![0, 1, 2, 3, 4], vec![], vec![7]];
-        let tiles = crossbar_tiles(&visiting, 2);
-        assert_eq!(tiles.len(), 4);
-        assert_eq!(tiles[0].queries, vec![0, 1]);
-        assert!(tiles[0].fetches_codes);
-        assert_eq!(tiles[1].queries, vec![2, 3]);
-        assert!(!tiles[1].fetches_codes);
-        assert_eq!(tiles[2].queries, vec![4]);
-        assert!(!tiles[2].fetches_codes);
-        assert_eq!(tiles[3].cluster, 2);
-        assert!(tiles[3].fetches_codes);
-    }
-
-    #[test]
-    fn zero_group_bound_means_one_tile_per_cluster() {
-        let visiting = vec![vec![0; 1000], vec![1]];
-        let tiles = crossbar_tiles(&visiting, 0);
-        assert_eq!(tiles.len(), 2);
-        assert_eq!(tiles[0].queries.len(), 1000);
-    }
-
-    #[test]
-    fn tiles_partition_every_visit_exactly_once() {
-        let visiting = vec![vec![0, 2, 4], vec![1, 3], vec![], vec![0, 1, 2, 3, 4, 5]];
-        for cap in [0, 1, 2, 3, 7] {
-            let tiles = crossbar_tiles(&visiting, cap);
-            let mut seen: Vec<(usize, usize)> = tiles
-                .iter()
-                .flat_map(|t| t.queries.iter().map(move |&q| (t.cluster, q)))
-                .collect();
-            seen.sort_unstable();
-            let mut expect: Vec<(usize, usize)> = visiting
-                .iter()
-                .enumerate()
-                .flat_map(|(c, qs)| qs.iter().map(move |&q| (c, q)))
-                .collect();
-            expect.sort_unstable();
-            assert_eq!(seen, expect, "cap {cap}");
-        }
-    }
-
-    #[test]
-    fn exactly_one_fetch_per_visited_cluster() {
-        let visiting = vec![vec![0; 17], vec![], vec![1; 5], vec![2]];
-        let tiles = crossbar_tiles(&visiting, 4);
-        for cluster in [0, 2, 3] {
-            let fetches = tiles
-                .iter()
-                .filter(|t| t.cluster == cluster && t.fetches_codes)
-                .count();
-            assert_eq!(fetches, 1, "cluster {cluster}");
-        }
-    }
 
     #[test]
     fn batch_exec_resolves_thread_counts() {

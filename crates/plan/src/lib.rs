@@ -1,0 +1,41 @@
+//! The shared cluster-major batch-planning IR (Section IV).
+//!
+//! Every execution backend in the workspace — the software batch engine
+//! (`anna-index`), the analytic/cycle/stepped timing engines and the
+//! functional accelerator (`anna-core`) — runs the *same* cluster-major
+//! schedule: fetch each visited cluster's codes once, score them against
+//! every query visiting the cluster, and spill/fill intermediate top-k
+//! state when a query's work spans multiple rounds. This crate owns that
+//! schedule as a first-class IR so the backends cannot silently diverge:
+//!
+//! * [`SearchShape`] / [`QueryWorkload`] / [`BatchWorkload`] — the
+//!   timing-relevant description of a workload (`D`, `M`, `k*`, metric,
+//!   `|C|`, `k`, cluster sizes, per-query visit lists).
+//! * [`crossbar_tiles`] — cuts per-cluster visitor lists into
+//!   *(cluster, query-group)* [`ClusterTile`]s, mirroring ANNA's crossbar
+//!   arbitration of SCM groups.
+//! * [`plan`] — resolves the [`ScmAllocation`] policy to a concrete `g`,
+//!   turns the tiles into [`Round`]s, and packages the result as a
+//!   [`BatchPlan`] with the spill/fill record size precomputed.
+//! * [`TrafficModel`] — prices any [`BatchPlan`] in bytes (codes fetched,
+//!   metadata, query lists, top-k spill/fill, results) *before*
+//!   execution. The workspace's headline invariant is that this predicted
+//!   [`TrafficReport`] equals both the software engine's measured
+//!   `BatchStats` bytes and the simulators' `TimingReport` traffic,
+//!   exactly.
+//!
+//! The crate depends only on `anna-vector` (for [`anna_vector::Metric`])
+//! and `serde`, so every layer of the stack can consume the IR without
+//! dependency cycles.
+
+#![deny(missing_docs)]
+
+mod plan;
+mod tiles;
+mod traffic;
+mod workload;
+
+pub use plan::{plan, BatchPlan, PlanParams, Round, ScmAllocation};
+pub use tiles::{crossbar_tiles, ClusterTile};
+pub use traffic::{TrafficModel, TrafficReport, CLUSTER_META_BYTES, QUERY_ID_BYTES};
+pub use workload::{BatchWorkload, QueryWorkload, SearchShape};

@@ -1,0 +1,181 @@
+//! Byte-exact traffic accounting for a [`BatchPlan`].
+//!
+//! [`TrafficModel`] prices a plan in bytes *before* execution, using the
+//! paper's Section IV accounting: centroid streams, cluster metadata,
+//! encoded-code fetches, query-id lists, intermediate top-k spill/fill,
+//! and result stores. All fields are integers, so the workspace can assert
+//! **exact** equality between the predicted report, the software engine's
+//! measured `BatchStats`, and the simulators' `TimingReport` traffic.
+
+use serde::{Deserialize, Serialize};
+
+use crate::plan::{BatchPlan, PlanParams};
+use crate::workload::BatchWorkload;
+
+/// Bytes of metadata fetched per cluster (start address + size, one 64 B
+/// line).
+pub const CLUSTER_META_BYTES: u64 = 64;
+
+/// Bytes per query id in the traffic-optimization query lists (3 B covers
+/// the paper's 10k-query batches).
+pub const QUERY_ID_BYTES: u64 = 3;
+
+/// Byte-level memory-traffic breakdown of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TrafficReport {
+    /// Centroid stream during cluster filtering.
+    pub centroid_bytes: u64,
+    /// Cluster metadata reads (start address + size, 64 B lines).
+    pub cluster_meta_bytes: u64,
+    /// Encoded-vector fetches (the dominant term).
+    pub code_bytes: u64,
+    /// Intermediate top-k spill records written to memory (batched mode).
+    pub topk_spill_bytes: u64,
+    /// Intermediate top-k fill records read back from memory (batched
+    /// mode). Separated from spills so reads and writes price
+    /// independently, as Table I does.
+    pub topk_fill_bytes: u64,
+    /// Query-id list writes/reads for the traffic optimization
+    /// (Section IV-A).
+    pub query_list_bytes: u64,
+    /// Final result stores.
+    pub result_bytes: u64,
+}
+
+impl TrafficReport {
+    /// Total bytes moved.
+    pub fn total(&self) -> u64 {
+        self.centroid_bytes
+            + self.cluster_meta_bytes
+            + self.code_bytes
+            + self.topk_spill_bytes
+            + self.topk_fill_bytes
+            + self.query_list_bytes
+            + self.result_bytes
+    }
+}
+
+/// Prices a [`BatchPlan`] in bytes before execution.
+///
+/// Every backend that executes a plan — the software batch engine, the
+/// three timing engines, and the functional accelerator — must account
+/// exactly the bytes this model predicts; the workspace's cross-validation
+/// property tests enforce that equality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficModel {
+    /// Planning parameters (record sizes the byte accounting depends on).
+    pub params: PlanParams,
+}
+
+impl TrafficModel {
+    /// A model for the given planning parameters.
+    pub fn new(params: PlanParams) -> Self {
+        Self { params }
+    }
+
+    /// The predicted traffic of executing `plan` for `workload`
+    /// (Section IV accounting):
+    ///
+    /// * `centroid_bytes` — one 2-byte-element centroid stream,
+    ///   `2·D·|C|`.
+    /// * `cluster_meta_bytes` — one 64 B metadata line per cluster fetch.
+    /// * `code_bytes` — each fetching round streams its cluster's codes
+    ///   once, `|C_i| · M·log2(k*)/8`.
+    /// * `topk_spill_bytes` / `topk_fill_bytes` — the plan's spill/fill
+    ///   points times [`BatchPlan::spill_unit_bytes`].
+    /// * `query_list_bytes` — the per-cluster query-id lists are written
+    ///   once and read once, `2 · Σ|W_q| · 3`.
+    /// * `result_bytes` — `B·k` final records.
+    pub fn price(&self, workload: &BatchWorkload, plan: &BatchPlan) -> TrafficReport {
+        let s = &workload.shape;
+        let ebpv = s.encoded_bytes_per_vector() as u64;
+        let code_bytes: u64 = plan
+            .rounds
+            .iter()
+            .filter(|r| r.fetches_codes)
+            .map(|r| r.cluster_size as u64 * ebpv)
+            .sum();
+        let (fills, spills) = plan.total_topk_units();
+        TrafficReport {
+            centroid_bytes: s.centroid_bytes(),
+            cluster_meta_bytes: CLUSTER_META_BYTES * plan.clusters_fetched(),
+            code_bytes,
+            topk_spill_bytes: spills * plan.spill_unit_bytes,
+            topk_fill_bytes: fills * plan.spill_unit_bytes,
+            query_list_bytes: 2 * workload.total_visits() * QUERY_ID_BYTES,
+            result_bytes: (workload.b() * s.k) as u64 * self.params.topk_record_bytes as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{plan, ScmAllocation};
+    use crate::workload::SearchShape;
+    use anna_vector::Metric;
+
+    #[test]
+    fn traffic_total_sums_fields() {
+        let t = TrafficReport {
+            centroid_bytes: 1,
+            cluster_meta_bytes: 2,
+            code_bytes: 3,
+            topk_spill_bytes: 4,
+            topk_fill_bytes: 7,
+            query_list_bytes: 5,
+            result_bytes: 6,
+        };
+        assert_eq!(t.total(), 28);
+    }
+
+    #[test]
+    fn price_accounts_each_component_exactly() {
+        let params = PlanParams::default();
+        // One query visiting two 10-vector clusters; k=1000, m=64,
+        // k*=256 -> 64 B per vector.
+        let w = BatchWorkload {
+            shape: SearchShape {
+                d: 128,
+                m: 64,
+                kstar: 256,
+                metric: Metric::L2,
+                num_clusters: 3,
+                k: 1000,
+            },
+            cluster_sizes: vec![10, 10, 10],
+            visits: vec![vec![0, 2]],
+        };
+        let p = plan(&params, &w, ScmAllocation::InterQuery);
+        let t = TrafficModel::new(params).price(&w, &p);
+        assert_eq!(t.centroid_bytes, 2 * 128 * 3);
+        assert_eq!(t.cluster_meta_bytes, 2 * CLUSTER_META_BYTES);
+        assert_eq!(t.code_bytes, 2 * 10 * 64);
+        // Two rounds for the query: one spill after round 1, one fill at
+        // round 2, 1000 records · 5 B each.
+        assert_eq!(t.topk_spill_bytes, 5000);
+        assert_eq!(t.topk_fill_bytes, 5000);
+        assert_eq!(t.query_list_bytes, 2 * 2 * QUERY_ID_BYTES);
+        assert_eq!(t.result_bytes, 1000 * 5);
+    }
+
+    #[test]
+    fn empty_batch_prices_only_centroids() {
+        let params = PlanParams::default();
+        let w = BatchWorkload {
+            shape: SearchShape {
+                d: 32,
+                m: 4,
+                kstar: 16,
+                metric: Metric::L2,
+                num_clusters: 8,
+                k: 10,
+            },
+            cluster_sizes: vec![5; 8],
+            visits: vec![],
+        };
+        let p = plan(&params, &w, ScmAllocation::InterQuery);
+        let t = TrafficModel::new(params).price(&w, &p);
+        assert_eq!(t.total(), t.centroid_bytes);
+    }
+}

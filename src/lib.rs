@@ -11,8 +11,11 @@
 //!   baseline).
 //! * [`data`] — synthetic dataset generators, cluster-size models, ground
 //!   truth and recall.
+//! * [`plan`] — the shared cluster-major plan layer: the batch-planning
+//!   IR ([`plan::BatchPlan`]) every engine executes and the
+//!   [`plan::TrafficModel`] that prices a plan in bytes before execution.
 //! * [`core`] — the ANNA accelerator model: hardware modules, timing
-//!   engines, batch scheduler, area/energy model.
+//!   engines, area/energy model (all consuming [`plan`]).
 //! * [`baseline`] — CPU/GPU analytical baselines and the exhaustive-search
 //!   baseline.
 //!
@@ -47,5 +50,6 @@ pub use anna_baseline as baseline;
 pub use anna_core as core;
 pub use anna_data as data;
 pub use anna_index as index;
+pub use anna_plan as plan;
 pub use anna_quant as quant;
 pub use anna_vector as vector;

@@ -128,7 +128,7 @@ fn batched_scan_traffic_matches_anna_code_traffic_model() {
     let anna = Anna::new(AnnaConfig::paper(), &index).unwrap();
     let (_, timing) = anna.search_batch(&ds.queries, 5, 50, ScmAllocation::InterQuery);
     assert_eq!(
-        stats.code_bytes_loaded, timing.traffic.code_bytes,
+        stats.code_bytes, timing.traffic.code_bytes,
         "software scanner and accelerator disagree on code traffic"
     );
 }
