@@ -1,15 +1,26 @@
-//! Worker-count sweep for the parallel cluster-major batch engine.
+//! Worker-count sweep for the parallel cluster-major batch engine, with a
+//! per-host memory roofline.
 //!
 //! Measures real batched QPS on the host at increasing worker counts and
 //! reports the speedup over the serial schedule, together with a result
 //! checksum proving every point returned bit-identical neighbors — the
 //! software analogue of scaling ANNA's SCM count while the crossbar
 //! assignment (and therefore the answer) stays fixed.
+//!
+//! Each point is also placed against the machine it runs on: the
+//! [`anna_plan::TrafficModel`] prices the exact shaped plan the engine
+//! executes (bytes the batch must move), a streaming microbenchmark
+//! measures the bandwidth `t` threads can actually sustain on this host,
+//! and their ratio — `achieved_vs_roofline` — says how close the
+//! overlapped engine runs to the memory roofline that bounds it. A point
+//! near 1.0 cannot be made faster by more software; that is the regime
+//! the paper builds ANNA for.
 
-use anna_baseline::cpu::measure_batched_qps_traced;
+use anna_baseline::cpu::{measure_batched_qps_traced, measure_stream_bandwidth};
 use anna_core::ScmAllocation;
 use anna_core::{Anna, AnnaConfig};
 use anna_index::{BatchExec, BatchedScan, IvfPqConfig, IvfPqIndex, SearchParams};
+use anna_plan::{PlanParams, TrafficModel};
 use anna_telemetry::Telemetry;
 use anna_vector::{Metric, VectorSet};
 use serde::{Deserialize, Serialize};
@@ -27,6 +38,15 @@ pub struct ThreadPoint {
     pub speedup: f64,
     /// Whether this point's neighbors were bit-identical to serial.
     pub identical_to_serial: bool,
+    /// Bytes/second the engine effectively moved: the traffic model's
+    /// priced bytes for one batch times the measured batch rate.
+    pub achieved_bytes_per_sec: f64,
+    /// Bytes/second `threads` streaming readers sustain on this host
+    /// (measured, not assumed).
+    pub roofline_bytes_per_sec: f64,
+    /// `achieved / roofline` — fraction of the host's memory roofline the
+    /// engine reaches at this worker count.
+    pub achieved_vs_roofline: f64,
 }
 
 /// The sweep result.
@@ -36,6 +56,13 @@ pub struct ThreadsSweep {
     pub batch: usize,
     /// Database size used.
     pub db_n: usize,
+    /// Bytes one batch moves under the executed plan, per the traffic
+    /// model (codes + centroids + metadata + query lists + top-k
+    /// spill/fill).
+    pub traffic_bytes_per_batch: u64,
+    /// Cores the OS exposed while sweeping (`available_parallelism`) —
+    /// the context for reading the speedup column.
+    pub host_cpus: usize,
     /// Measured points, ascending thread count.
     pub points: Vec<ThreadPoint>,
 }
@@ -94,6 +121,16 @@ pub fn run_traced(
     let scan = BatchedScan::new(&index);
     let (serial_ref, _) = scan.run_serial(&queries, &params);
 
+    // Price the exact plan the engine executes (the shaped default plan),
+    // so achieved bytes/sec below reflects what this schedule moves — not
+    // a generic estimate.
+    let traffic_bytes_per_batch = TrafficModel::new(PlanParams::default())
+        .price(
+            &scan.workload(&queries, &params),
+            &scan.default_plan(&queries, &params),
+        )
+        .total();
+
     let mut points = Vec::new();
     let mut serial_qps = 0.0f64;
     for &threads in thread_counts {
@@ -105,11 +142,16 @@ pub fn run_traced(
             serial_qps = qps;
         }
         let (got, _) = scan.run_with(&queries, &params, &BatchExec::with_threads(threads));
+        let achieved = traffic_bytes_per_batch as f64 * qps / batch.max(1) as f64;
+        let roofline = measure_stream_bandwidth(threads);
         points.push(ThreadPoint {
             threads,
             qps,
             speedup: 0.0, // filled below once the serial point is known
             identical_to_serial: got == serial_ref,
+            achieved_bytes_per_sec: achieved,
+            roofline_bytes_per_sec: roofline,
+            achieved_vs_roofline: achieved / roofline.max(1.0),
         });
     }
     if serial_qps <= 0.0 {
@@ -138,6 +180,10 @@ pub fn run_traced(
     ThreadsSweep {
         batch,
         db_n,
+        traffic_bytes_per_batch,
+        host_cpus: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
         points,
     }
 }
@@ -148,6 +194,8 @@ impl ThreadsSweep {
         Json::obj()
             .set("batch", self.batch)
             .set("db_n", self.db_n)
+            .set("traffic_bytes_per_batch", self.traffic_bytes_per_batch)
+            .set("host_cpus", self.host_cpus)
             .set(
                 "points",
                 Json::Arr(
@@ -159,6 +207,9 @@ impl ThreadsSweep {
                                 .set("qps", p.qps)
                                 .set("speedup", p.speedup)
                                 .set("identical_to_serial", p.identical_to_serial)
+                                .set("achieved_bytes_per_sec", p.achieved_bytes_per_sec)
+                                .set("roofline_bytes_per_sec", p.roofline_bytes_per_sec)
+                                .set("achieved_vs_roofline", p.achieved_vs_roofline)
                         })
                         .collect(),
                 ),
@@ -168,13 +219,30 @@ impl ThreadsSweep {
     /// Text rendering.
     pub fn render(&self) -> String {
         let mut s = format!(
-            "\n=== batched QPS vs worker count (B={}, N={}) ===\n{:<8} {:>12} {:>9} {:>10}\n",
-            self.batch, self.db_n, "threads", "qps", "speedup", "identical"
+            "\n=== batched QPS vs worker count (B={}, N={}, {} B/batch, {} host cpus) ===\n\
+             {:<8} {:>12} {:>9} {:>10} {:>12} {:>12} {:>9}\n",
+            self.batch,
+            self.db_n,
+            self.traffic_bytes_per_batch,
+            self.host_cpus,
+            "threads",
+            "qps",
+            "speedup",
+            "identical",
+            "achieved",
+            "roofline",
+            "ach/roof"
         );
         for p in &self.points {
             s.push_str(&format!(
-                "{:<8} {:>12.0} {:>8.2}x {:>10}\n",
-                p.threads, p.qps, p.speedup, p.identical_to_serial
+                "{:<8} {:>12.0} {:>8.2}x {:>10} {:>9.2} GB/s {:>9.2} GB/s {:>9.3}\n",
+                p.threads,
+                p.qps,
+                p.speedup,
+                p.identical_to_serial,
+                p.achieved_bytes_per_sec / 1e9,
+                p.roofline_bytes_per_sec / 1e9,
+                p.achieved_vs_roofline
             ));
         }
         s
@@ -197,6 +265,8 @@ mod tests {
     fn sweep_reports_identical_results_for_every_worker_count() {
         let sweep = run(4_000, 64, &[1, 2, 4]);
         assert_eq!(sweep.points.len(), 3);
+        assert!(sweep.traffic_bytes_per_batch > 0);
+        assert!(sweep.host_cpus >= 1);
         for p in &sweep.points {
             assert!(p.qps > 0.0, "threads={} qps={}", p.threads, p.qps);
             assert!(
@@ -204,8 +274,35 @@ mod tests {
                 "threads={} diverged from serial",
                 p.threads
             );
+            assert!(
+                p.achieved_bytes_per_sec > 0.0 && p.achieved_bytes_per_sec.is_finite(),
+                "threads={} achieved={}",
+                p.threads,
+                p.achieved_bytes_per_sec
+            );
+            assert!(
+                p.roofline_bytes_per_sec > 0.0 && p.roofline_bytes_per_sec.is_finite(),
+                "threads={} roofline={}",
+                p.threads,
+                p.roofline_bytes_per_sec
+            );
+            assert!(
+                p.achieved_vs_roofline > 0.0 && p.achieved_vs_roofline.is_finite(),
+                "threads={} ratio={}",
+                p.threads,
+                p.achieved_vs_roofline
+            );
         }
         assert_eq!(sweep.speedup_at(1), Some(1.0));
+        let json = sweep.to_json().to_string();
+        for key in [
+            "achieved_vs_roofline",
+            "roofline_bytes_per_sec",
+            "traffic_bytes_per_batch",
+            "host_cpus",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
     }
 
     #[test]

@@ -22,7 +22,7 @@ use crate::ivf::IvfPqIndex;
 use crate::lut::Lut;
 use crate::parallel::{self, BatchExec};
 use crate::SearchParams;
-use anna_plan::{BatchPlan, BatchWorkload, PlanParams, SearchShape};
+use anna_plan::{BatchPlan, BatchWorkload, PlanParams, SearchShape, TileShaper};
 use anna_telemetry::Telemetry;
 use anna_vector::{Metric, Neighbor, TopK, VectorSet};
 use serde::{Deserialize, Serialize};
@@ -143,11 +143,40 @@ impl<'a> BatchedScan<'a> {
         }
     }
 
+    /// Builds the default cost-shaped [`BatchPlan`] for this batch: one
+    /// tile per visited cluster, except that heavyweight clusters are
+    /// split by [`TileShaper`] so no crossbar tile dominates a round —
+    /// the merge/dispatch overhead of every split tile stays under the
+    /// shaper's bound, priced in the same bytes as the
+    /// [`anna_plan::TrafficModel`].
+    ///
+    /// The shaping is a pure function of the workload (never of the
+    /// runtime thread count), so the plan — and therefore the measured
+    /// [`BatchStats`] — is identical however many workers execute it.
+    /// This is the plan [`BatchedScan::run`] executes; it is exposed so
+    /// benchmarks can price exactly what the engine runs.
+    pub fn default_plan(&self, queries: &VectorSet, params: &SearchParams) -> BatchPlan {
+        let visiting = self.plan(queries, params.nprobe);
+        let bytes_per_vector = if self.index.num_clusters() > 0 {
+            self.index.cluster(0).codes.vector_bytes()
+        } else {
+            0
+        };
+        let record = PlanParams::default().topk_record_bytes as u64;
+        BatchPlan::shaped_from_visitors(
+            &visiting,
+            &self.index.cluster_sizes(),
+            bytes_per_vector,
+            &TileShaper::default(),
+            params.k as u64 * record,
+        )
+    }
+
     /// Runs the batch and returns per-query results (query order, best
     /// first) plus traffic statistics.
     ///
     /// Uses the default execution config: one worker per available core,
-    /// one round per visited cluster. Results are bit-identical to running
+    /// cost-shaped tiles. Results are bit-identical to running
     /// [`IvfPqIndex::search`] per query, and to [`BatchedScan::run_serial`]
     /// — only the schedule differs (see [`crate::parallel`] for why).
     ///
@@ -220,18 +249,22 @@ impl<'a> BatchedScan<'a> {
         assert_eq!(queries.dim(), self.index.dim(), "query dimension mismatch");
         let plan = {
             let _span = tel.span("batch.plan");
-            let visiting = self.plan(queries, params.nprobe);
-            // The software engine runs whole query groups per worker
-            // (g = 1), and its per-query heaps hold the full k records
-            // requested — so a spill prices k records at the paper's
-            // packed record size.
-            let record = PlanParams::default().topk_record_bytes as u64;
-            BatchPlan::from_visitors(
-                &visiting,
-                &self.index.cluster_sizes(),
-                exec.queries_per_group,
-                params.k as u64 * record,
-            )
+            if exec.queries_per_group == 0 {
+                self.default_plan(queries, params)
+            } else {
+                let visiting = self.plan(queries, params.nprobe);
+                // The software engine runs whole query groups per worker
+                // (g = 1), and its per-query heaps hold the full k records
+                // requested — so a spill prices k records at the paper's
+                // packed record size.
+                let record = PlanParams::default().topk_record_bytes as u64;
+                BatchPlan::from_visitors(
+                    &visiting,
+                    &self.index.cluster_sizes(),
+                    exec.queries_per_group,
+                    params.k as u64 * record,
+                )
+            }
         };
         self.execute_plan(queries, params, &plan, exec.resolved_threads(), tel)
     }
@@ -272,17 +305,19 @@ impl<'a> BatchedScan<'a> {
         threads: usize,
         tel: &Telemetry,
     ) -> (Vec<Vec<Neighbor>>, BatchStats) {
-        // Shared inner-product base tables (cluster-invariant) per query;
-        // L2 tables are cluster-specific and built inside the round scans.
+        // Shared inner-product base tables (cluster-invariant) per query,
+        // built across the worker pool (each query's table is independent,
+        // so the fan-out is trivially deterministic); L2 tables are
+        // cluster-specific and built inside the round pipeline.
         let ip_base: Option<Vec<Lut>> = {
             let _span = tel.span("batch.lut_build");
             match self.index.metric() {
-                Metric::InnerProduct => Some(
-                    queries
-                        .iter()
-                        .map(|q| Lut::build_ip(q, self.index.codebook(), params.lut_precision))
-                        .collect(),
-                ),
+                Metric::InnerProduct => Some(parallel::build_ip_base(
+                    self.index,
+                    queries,
+                    params.lut_precision,
+                    threads,
+                )),
                 Metric::L2 => None,
             }
         };

@@ -169,9 +169,19 @@ pub fn scan_with(
     }
 
     let m = codes.m();
+    let vb = codes.vector_bytes();
     let mut start = 0;
     while start < n {
         let count = (n - start).min(TILE);
+        // Overlap the next block's DRAM fetch with this block's scoring:
+        // the scan streams each cluster exactly once, so the hardware
+        // prefetcher restarts cold at every cluster boundary — a software
+        // hint per upcoming tile keeps the scan bandwidth-shaped instead
+        // of latency-bound (the EFM's job in hardware, Section III-B).
+        let next = start + count;
+        if next < n {
+            prefetch_read(codes.bytes(), next * vb, (n - next).min(TILE) * vb);
+        }
         let (scores, groups) = scratch.buffers(m, count);
         score_block(codes, start, lut, dispatch, groups, &mut scores[..count]);
 
@@ -192,6 +202,28 @@ pub fn scan_with(
         start += count;
     }
     tally
+}
+
+/// Issues a read prefetch hint for `bytes[offset..offset + len]`, one
+/// cache line at a time. A no-op on non-x86 targets; never reads past the
+/// slice (the range is clamped), and a prefetch has no architectural
+/// effect, so this cannot perturb results.
+#[inline]
+#[allow(unused_variables)]
+fn prefetch_read(bytes: &[u8], offset: usize, len: usize) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        let end = bytes.len().min(offset.saturating_add(len));
+        let mut p = offset;
+        while p < end {
+            // SAFETY: `p < end <= bytes.len()`, so the pointer is inside
+            // the slice; prefetch needs no CPU feature beyond SSE (x86_64
+            // baseline) and performs no memory access architecturally.
+            unsafe { _mm_prefetch(bytes.as_ptr().add(p).cast::<i8>(), _MM_HINT_T0) };
+            p += 64;
+        }
+    }
 }
 
 /// Fills `out` with the scores of vectors `[start, start + out.len())`

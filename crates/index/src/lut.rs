@@ -40,6 +40,21 @@ pub struct Lut {
 }
 
 impl Lut {
+    /// An empty 0×0 table — a pre-allocatable slot for the reusable-LUT
+    /// paths. Fill it with [`Lut::rebuild_l2`] or
+    /// [`Lut::clone_rebias_from`] before scoring; its entry buffer is
+    /// reused (never shrunk) across rebuilds, so a warm slot rebuilds
+    /// without allocating.
+    pub fn placeholder() -> Self {
+        Self {
+            m: 0,
+            kstar: 0,
+            entries: Vec::new(),
+            bias: 0.0,
+            precision: LutPrecision::F32,
+        }
+    }
+
     /// Builds the inner-product LUT: `L_i[c] = q_i · B_i[c]`, with bias
     /// `q · centroid` to be added after reduction (Section II-C: "the term
     /// q·c⁽ʲ⁾ needs to be added at the end").
@@ -89,28 +104,56 @@ impl Lut {
         book: &PqCodebook,
         precision: LutPrecision,
     ) -> Self {
+        let mut lut = Self::placeholder();
+        let mut residual = Vec::new();
+        lut.rebuild_l2(q, centroid, book, precision, &mut residual);
+        lut
+    }
+
+    /// [`Lut::build_l2`] in place: rebuilds this table for another
+    /// `(query, cluster)` pair, reusing the entry buffer and the caller's
+    /// `residual` scratch so a hot loop (the batch engine rebuilds one
+    /// L2 table per visit) allocates nothing after warm-up.
+    ///
+    /// The arithmetic is the single shared implementation ([`build_l2`]
+    /// delegates here), so a rebuilt table is bit-identical to a freshly
+    /// built one — the parallel engine's determinism guarantee rests on
+    /// this.
+    ///
+    /// [`build_l2`]: Lut::build_l2
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions are inconsistent.
+    pub fn rebuild_l2(
+        &mut self,
+        q: &[f32],
+        centroid: &[f32],
+        book: &PqCodebook,
+        precision: LutPrecision,
+        residual: &mut Vec<f32>,
+    ) {
         assert_eq!(q.len(), book.dim(), "query dimension mismatch");
         assert_eq!(centroid.len(), book.dim(), "centroid dimension mismatch");
         let m = book.m();
         let kstar = book.kstar();
         let sub = book.sub_dim();
-        let residual: Vec<f32> = metric::sub(q, centroid);
-        let mut entries = Vec::with_capacity(m * kstar);
+        residual.clear();
+        residual.extend(q.iter().zip(centroid).map(|(x, y)| x - y));
+        self.m = m;
+        self.kstar = kstar;
+        self.bias = 0.0;
+        self.precision = precision;
+        self.entries.clear();
+        self.entries.reserve(m * kstar);
         for i in 0..m {
             let ri = &residual[i * sub..(i + 1) * sub];
             for c in 0..kstar {
-                entries.push(-metric::l2_squared(ri, book.book(i).row(c)));
+                self.entries
+                    .push(-metric::l2_squared(ri, book.book(i).row(c)));
             }
         }
-        let mut lut = Self {
-            m,
-            kstar,
-            entries,
-            bias: 0.0,
-            precision,
-        };
-        lut.apply_precision(precision);
-        lut
+        self.apply_precision(precision);
     }
 
     fn apply_precision(&mut self, precision: LutPrecision) {
@@ -128,12 +171,27 @@ impl Lut {
     /// it through binary16, since ANNA's lookup-table SRAM has no
     /// full-precision slot to hold `q·c⁽ʲ⁾` in (Section III-B).
     pub fn with_bias(&self, bias: f32) -> Self {
-        let mut out = self.clone();
-        out.bias = match self.precision {
+        let mut out = Self::placeholder();
+        out.clone_rebias_from(self, bias);
+        out
+    }
+
+    /// [`Lut::with_bias`] in place: makes `self` a copy of `base` with
+    /// `bias`, reusing this table's entry buffer (the batch engine
+    /// re-targets the cluster-invariant inner-product table once per
+    /// visit; this keeps that re-targeting allocation-free after
+    /// warm-up). Bias precision follows `base`, exactly as
+    /// [`Lut::with_bias`] does.
+    pub fn clone_rebias_from(&mut self, base: &Lut, bias: f32) {
+        self.m = base.m;
+        self.kstar = base.kstar;
+        self.precision = base.precision;
+        self.entries.clear();
+        self.entries.extend_from_slice(&base.entries);
+        self.bias = match base.precision {
             LutPrecision::F16 => f16::round_trip(bias),
             LutPrecision::F32 => bias,
         };
-        out
     }
 
     /// The precision the table stores its entries (and bias) at.
@@ -324,6 +382,50 @@ mod tests {
         let q = vec![0.0f32; 128];
         let lut = Lut::build_ip(&q, &book, LutPrecision::F32);
         assert_eq!(lut.storage_bytes(), 32768);
+    }
+
+    #[test]
+    fn rebuild_l2_is_bit_identical_to_build_l2_across_shapes() {
+        let book = book();
+        // One slot reused across different (query, centroid) pairs and
+        // precisions must always equal a fresh build, bit for bit.
+        let mut slot = Lut::placeholder();
+        let mut residual = Vec::new();
+        for (qi, precision) in [
+            (0usize, LutPrecision::F32),
+            (1, LutPrecision::F16),
+            (2, LutPrecision::F32),
+        ] {
+            let q = [qi as f32 + 0.25, 1.5, -2.0, 0.75];
+            let centroid = [0.5 * qi as f32, -0.25, 1.0, 2.0];
+            slot.rebuild_l2(&q, &centroid, &book, precision, &mut residual);
+            let fresh = Lut::build_l2(&q, &centroid, &book, precision);
+            assert_eq!(slot.m(), fresh.m());
+            assert_eq!(slot.kstar(), fresh.kstar());
+            assert_eq!(slot.bias().to_bits(), fresh.bias().to_bits());
+            for (a, b) in slot.entries().iter().zip(fresh.entries()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "precision {precision:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn clone_rebias_matches_with_bias_including_f16_rounding() {
+        let book = book();
+        let q = [0.1, 0.2, 0.3, 0.4];
+        let raw_bias = 0.1234567f32;
+        for precision in [LutPrecision::F32, LutPrecision::F16] {
+            let base = Lut::build_ip(&q, &book, precision);
+            let fresh = base.with_bias(raw_bias);
+            let mut slot = Lut::placeholder();
+            // Warm the slot with something else first: stale state must
+            // be fully overwritten.
+            slot.clone_rebias_from(&base, 99.0);
+            slot.clone_rebias_from(&base, raw_bias);
+            assert_eq!(slot.bias().to_bits(), fresh.bias().to_bits());
+            assert_eq!(slot.precision(), fresh.precision());
+            assert_eq!(slot.entries(), fresh.entries());
+        }
     }
 
     #[test]

@@ -14,6 +14,10 @@
 //! * [`crossbar_tiles`] — cuts per-cluster visitor lists into
 //!   *(cluster, query-group)* [`ClusterTile`]s, mirroring ANNA's crossbar
 //!   arbitration of SCM groups.
+//! * [`TileShaper`] — the software engine's cost-shaped variant of the
+//!   cut: tiles sized in TrafficModel bytes so per-tile dispatch + merge
+//!   overhead stays under 5% of scan work, with hot clusters split for
+//!   load balance.
 //! * [`plan`] — resolves the [`ScmAllocation`] policy to a concrete `g`,
 //!   turns the tiles into [`Round`]s, and packages the result as a
 //!   [`BatchPlan`] with the spill/fill record size precomputed.
@@ -31,11 +35,13 @@
 #![deny(missing_docs)]
 
 mod plan;
+mod shape;
 mod tiles;
 mod traffic;
 mod workload;
 
 pub use plan::{plan, BatchPlan, PlanParams, Round, ScmAllocation};
+pub use shape::TileShaper;
 pub use tiles::{crossbar_tiles, ClusterTile};
 pub use traffic::{TrafficModel, TrafficReport, CLUSTER_META_BYTES, QUERY_ID_BYTES};
 pub use workload::{BatchWorkload, QueryWorkload, SearchShape};

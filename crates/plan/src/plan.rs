@@ -213,6 +213,35 @@ impl BatchPlan {
             rounds: rounds_from_tiles(crossbar_tiles(visiting, queries_per_round), cluster_sizes),
         }
     }
+
+    /// Like [`BatchPlan::from_visitors`], but with rounds cut by a
+    /// [`TileShaper`](crate::TileShaper) cost heuristic instead of a fixed
+    /// query-group bound: tiles are sized (in TrafficModel bytes) so
+    /// per-tile dispatch + merge overhead stays under the shaper's bound,
+    /// and hot clusters split into near-equal tiles for load balance.
+    ///
+    /// `bytes_per_vector` is the encoded-vector size the scan streams.
+    /// The resulting plan's `queries_per_round` is `0` (group sizes are
+    /// heterogeneous). The shaping is a pure function of the workload —
+    /// deliberately independent of any runtime thread count — so results
+    /// *and* spill/fill statistics stay identical across worker counts.
+    pub fn shaped_from_visitors(
+        visiting: &[Vec<usize>],
+        cluster_sizes: &[usize],
+        bytes_per_vector: usize,
+        shaper: &crate::TileShaper,
+        spill_unit_bytes: u64,
+    ) -> BatchPlan {
+        BatchPlan {
+            scm_per_query: 1,
+            queries_per_round: 0,
+            spill_unit_bytes,
+            rounds: rounds_from_tiles(
+                shaper.shape(visiting, cluster_sizes, bytes_per_vector, spill_unit_bytes),
+                cluster_sizes,
+            ),
+        }
+    }
 }
 
 fn rounds_from_tiles(tiles: Vec<ClusterTile>, cluster_sizes: &[usize]) -> Vec<Round> {
@@ -414,6 +443,36 @@ mod tests {
         let p = plan(&params, &multi, ScmAllocation::InterQuery);
         assert_eq!(p.round_topk_units(), vec![(0, 1), (1, 1), (1, 0)]);
         assert_eq!(p.total_topk_units(), (2, 2));
+    }
+
+    #[test]
+    fn shaped_plan_still_covers_every_visit_exactly_once() {
+        let w = workload(50, 8, 64);
+        let shaped = BatchPlan::shaped_from_visitors(
+            &w.visitors_per_cluster(),
+            &w.cluster_sizes,
+            64,
+            &crate::TileShaper::default(),
+            50,
+        );
+        assert_eq!(shaped.queries_per_round, 0);
+        // Every (query, cluster) visit lands in exactly one round even
+        // when hot clusters are split, so each query is scored W times.
+        let mut count = vec![0usize; 50];
+        for r in &shaped.rounds {
+            for &q in &r.queries {
+                assert!(w.visits[q].contains(&r.cluster));
+                count[q] += 1;
+            }
+        }
+        assert!(count.iter().all(|&c| c == 8));
+        // Splitting never adds code fetches: one per visited cluster.
+        let visited = w
+            .visitors_per_cluster()
+            .iter()
+            .filter(|v| !v.is_empty())
+            .count() as u64;
+        assert_eq!(shaped.clusters_fetched(), visited);
     }
 
     #[test]

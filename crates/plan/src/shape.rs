@@ -1,0 +1,320 @@
+//! Bandwidth-shaped tile coarsening for the cluster-major schedule.
+//!
+//! [`crossbar_tiles`](crate::crossbar_tiles) cuts visitor lists with a
+//! fixed query-group bound — the accelerator's `N_SCM / g`. The software
+//! worker pool has no such hardware bound, and a fixed cut is wrong at
+//! both extremes: tiles that are too small drown in dispatch and top-k
+//! merge overhead (the lock/merge-shaped scaling flatline), while one
+//! giant tile per hot cluster serializes the pool behind a single worker.
+//!
+//! [`TileShaper`] sizes tiles from the same byte currency the
+//! [`TrafficModel`](crate::TrafficModel) prices plans in: a tile scanning
+//! `q` queries against a cluster of `B_c` code bytes does `q · B_c` bytes
+//! of scan work, and costs `dispatch_overhead_bytes` (cursor claim,
+//! accumulator touch, trace event — a constant, expressed in
+//! traffic-equivalent bytes) plus `q · 2 · spill_unit_bytes` of top-k
+//! merge traffic (each extra tile of a cluster adds at most one spill and
+//! one fill per query, exactly what the traffic model charges a round
+//! crossing). Tiles are sized so that overhead stays below
+//! [`TileShaper::max_overhead_fraction`] of the scan work (< 5% by
+//! default), and hot clusters are split toward
+//! [`TileShaper::target_tiles`] near-equal tiles for load balance.
+//!
+//! # Shaping never perturbs results or stats
+//!
+//! Splitting a cluster's visitor list only partitions `(query, cluster)`
+//! visits — every visit still lands in exactly one tile, so the scored
+//! candidate multiset per query is unchanged and results stay
+//! bit-identical to the serial schedule. Spill/fill statistics *do*
+//! depend on the tiling (more tiles per cluster ⇒ more round crossings),
+//! which is why the shaper is a pure function of the workload — never of
+//! the runtime worker count. If it consulted `threads`, a 4-thread run
+//! would report different `BatchStats` than the serial reference and the
+//! serial==parallel determinism guarantee would break.
+
+use crate::tiles::ClusterTile;
+
+/// Cost heuristic that shapes crossbar tiles from TrafficModel bytes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TileShaper {
+    /// Largest fraction of a tile's scan bytes that dispatch + merge
+    /// overhead may consume. Tiles are never cut smaller than the query
+    /// group that keeps overhead under this bound.
+    pub max_overhead_fraction: f64,
+    /// Fixed per-tile dispatch cost in traffic-equivalent bytes (atomic
+    /// cursor claim, per-round accounting, trace event).
+    pub dispatch_overhead_bytes: u64,
+    /// Load-balance target: hot clusters are split until the plan has
+    /// roughly this many tiles overall. Deliberately a constant (not the
+    /// runtime thread count) so the plan — and therefore the spill/fill
+    /// stats — is identical for every worker count.
+    pub target_tiles: usize,
+}
+
+impl Default for TileShaper {
+    /// Overhead under 5% of scan bytes, ~2 KB per dispatch, and enough
+    /// tiles to keep an 8-worker pool busy with self-scheduling slack.
+    fn default() -> Self {
+        Self {
+            max_overhead_fraction: 0.05,
+            dispatch_overhead_bytes: 2048,
+            target_tiles: 32,
+        }
+    }
+}
+
+impl TileShaper {
+    /// The smallest query group that keeps a tile's overhead under the
+    /// bound when scanning a cluster of `cluster_bytes` code bytes, or
+    /// `None` if no split of this cluster can amortize its overhead (the
+    /// whole cluster must stay one tile).
+    ///
+    /// Solves `dispatch + q · merge ≤ f · q · cluster_bytes` for `q`,
+    /// where `merge = 2 · spill_unit_bytes` (one extra spill + fill per
+    /// query per added tile).
+    fn min_queries_per_tile(&self, cluster_bytes: u64, spill_unit_bytes: u64) -> Option<usize> {
+        let budget = self.max_overhead_fraction * cluster_bytes as f64;
+        let merge = 2.0 * spill_unit_bytes as f64;
+        if budget <= merge {
+            return None;
+        }
+        let q = (self.dispatch_overhead_bytes as f64 / (budget - merge)).ceil();
+        Some((q as usize).max(1))
+    }
+
+    /// Cuts per-cluster visitor lists into cost-shaped [`ClusterTile`]s.
+    ///
+    /// `visiting[c]` lists the queries visiting cluster `c`;
+    /// `bytes_per_vector` is the encoded-vector size (so cluster `c`
+    /// scans `cluster_sizes[c] · bytes_per_vector` bytes per visiting
+    /// query); `spill_unit_bytes` prices one intermediate top-k spill or
+    /// fill, exactly as the plan's
+    /// [`spill_unit_bytes`](crate::BatchPlan::spill_unit_bytes) does.
+    ///
+    /// Tiles preserve visitor order, partition every visit exactly once,
+    /// and only the first tile of a cluster fetches codes — the same
+    /// invariants [`crossbar_tiles`](crate::crossbar_tiles) guarantees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `visiting` names a cluster without a size (i.e.
+    /// `visiting.len() > cluster_sizes.len()`).
+    pub fn shape(
+        &self,
+        visiting: &[Vec<usize>],
+        cluster_sizes: &[usize],
+        bytes_per_vector: usize,
+        spill_unit_bytes: u64,
+    ) -> Vec<ClusterTile> {
+        assert!(
+            visiting.len() <= cluster_sizes.len(),
+            "visitor list names cluster {} but only {} sizes given",
+            visiting.len().saturating_sub(1),
+            cluster_sizes.len()
+        );
+        let cluster_bytes = |c: usize| -> u64 { cluster_sizes[c] as u64 * bytes_per_vector as u64 };
+        let total_scan_bytes: u64 = visiting
+            .iter()
+            .enumerate()
+            .map(|(c, qs)| qs.len() as u64 * cluster_bytes(c))
+            .sum();
+        // Scan bytes one tile should carry to hit the balance target.
+        let grain = (total_scan_bytes / self.target_tiles.max(1) as u64).max(1);
+
+        let mut tiles = Vec::new();
+        for (cluster, qs) in visiting.iter().enumerate() {
+            if qs.is_empty() {
+                continue;
+            }
+            let bytes = cluster_bytes(cluster);
+            let balance_tiles = ((qs.len() as u64 * bytes) / grain).max(1) as usize;
+            let overhead_tiles = match self.min_queries_per_tile(bytes, spill_unit_bytes) {
+                // Each tile must hold at least `min_q` queries.
+                Some(min_q) => (qs.len() / min_q).max(1),
+                // Overhead can never amortize: one tile, whole cluster.
+                None => 1,
+            };
+            let n = balance_tiles.min(overhead_tiles).min(qs.len()).max(1);
+            // Near-equal chunks in visitor order: the first `rem` tiles
+            // take one extra query.
+            let base = qs.len() / n;
+            let rem = qs.len() % n;
+            let mut start = 0;
+            for t in 0..n {
+                let len = base + usize::from(t < rem);
+                tiles.push(ClusterTile {
+                    cluster,
+                    queries: qs[start..start + len].to_vec(),
+                    fetches_codes: t == 0,
+                });
+                start += len;
+            }
+            debug_assert_eq!(start, qs.len());
+        }
+        tiles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flatten(tiles: &[ClusterTile]) -> Vec<(usize, Vec<usize>)> {
+        let mut by_cluster: Vec<(usize, Vec<usize>)> = Vec::new();
+        for t in tiles {
+            match by_cluster.last_mut() {
+                Some((c, qs)) if *c == t.cluster => qs.extend(&t.queries),
+                _ => by_cluster.push((t.cluster, t.queries.clone())),
+            }
+        }
+        by_cluster
+    }
+
+    #[test]
+    fn tiny_clusters_are_never_split() {
+        // 50-vector clusters at 2 B/vector: 100 scan bytes per visit;
+        // 5% of that is 5 B, far under the 30 B merge unit.
+        let shaper = TileShaper::default();
+        let visiting = vec![vec![0, 1, 2, 3], vec![4, 5]];
+        let tiles = shaper.shape(&visiting, &[50, 50], 2, 15);
+        assert_eq!(tiles.len(), 2);
+        assert_eq!(tiles[0].queries, vec![0, 1, 2, 3]);
+        assert_eq!(tiles[1].queries, vec![4, 5]);
+        assert!(tiles.iter().all(|t| t.fetches_codes));
+    }
+
+    #[test]
+    fn one_hot_cluster_is_split_toward_the_balance_target() {
+        // A single 1 MB cluster visited by 64 queries dominates the
+        // batch; with default shaping it must split into many tiles, each
+        // still meeting the overhead bound.
+        let shaper = TileShaper::default();
+        let visiting = vec![(0..64).collect::<Vec<_>>()];
+        let tiles = shaper.shape(&visiting, &[16_384], 64, 50);
+        assert!(tiles.len() > 1, "hot cluster stayed one tile");
+        assert!(tiles.len() <= shaper.target_tiles);
+        let min_q = shaper
+            .min_queries_per_tile(16_384 * 64, 50)
+            .expect("1 MB cluster amortizes overhead");
+        for t in &tiles {
+            assert!(t.queries.len() >= min_q, "tile under the overhead bound");
+        }
+        assert_eq!(
+            flatten(&tiles),
+            vec![(0usize, (0..64).collect::<Vec<_>>())],
+            "tiles must partition the visitor list in order"
+        );
+        assert_eq!(tiles.iter().filter(|t| t.fetches_codes).count(), 1);
+    }
+
+    #[test]
+    fn split_tiles_meet_the_overhead_bound() {
+        let shaper = TileShaper::default();
+        let visiting = vec![(0..40).collect::<Vec<_>>(), (10..90).collect::<Vec<_>>()];
+        let sizes = [8_000, 20_000];
+        let bpv = 32;
+        let spill = 80u64;
+        let tiles = shaper.shape(&visiting, &sizes, bpv, spill);
+        for t in tiles {
+            let siblings = visiting[t.cluster].len() != t.queries.len();
+            if !siblings {
+                continue; // unsplit cluster: no added overhead to bound
+            }
+            let q = t.queries.len() as f64;
+            let scan = q * (sizes[t.cluster] * bpv) as f64;
+            let overhead = shaper.dispatch_overhead_bytes as f64 + q * 2.0 * spill as f64;
+            assert!(
+                overhead <= shaper.max_overhead_fraction * scan + 1e-9,
+                "cluster {} tile of {} queries: overhead {overhead} vs scan {scan}",
+                t.cluster,
+                t.queries.len()
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_shapes_do_not_panic() {
+        let shaper = TileShaper::default();
+        // One cluster, one query.
+        let t = shaper.shape(&[vec![0]], &[10], 4, 5);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].queries, vec![0]);
+        // Spill unit larger than the whole cluster (k > cluster size).
+        let t = shaper.shape(&[vec![0, 1]], &[3], 4, 1_000_000);
+        assert_eq!(t.len(), 1);
+        // Zero-size cluster with visitors.
+        let t = shaper.shape(&[vec![0, 1, 2]], &[0], 64, 50);
+        assert_eq!(t.len(), 1);
+        // Empty batch.
+        assert!(shaper.shape(&[], &[], 8, 5).is_empty());
+        // No visitors anywhere.
+        assert!(shaper.shape(&[vec![], vec![]], &[5, 5], 8, 5).is_empty());
+        // Zero bytes per vector (empty codes).
+        let t = shaper.shape(&[vec![0, 1]], &[10], 0, 5);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sizes given")]
+    fn missing_cluster_size_panics() {
+        TileShaper::default().shape(&[vec![0], vec![1]], &[10], 4, 5);
+    }
+
+    #[test]
+    fn shaped_tiles_partition_visits_exactly() {
+        // Property: for random workloads, concatenating each cluster's
+        // tiles in order reproduces its visitor list exactly (no gaps, no
+        // overlaps, no reordering), and each visited cluster fetches once.
+        anna_testkit::forall("shaped tiles partition visits", 64, |rng| {
+            let clusters = rng.usize(1..10);
+            let visiting: Vec<Vec<usize>> = (0..clusters)
+                .map(|_| {
+                    let v = rng.usize(0..14);
+                    (0..v).map(|_| rng.usize(0..24)).collect()
+                })
+                .collect();
+            let sizes: Vec<usize> = (0..clusters).map(|_| rng.usize(0..3000)).collect();
+            let bpv = *rng.pick(&[2usize, 4, 8, 64]);
+            let spill = rng.u64(1..200);
+            let shaper = TileShaper {
+                max_overhead_fraction: rng.f64(0.01..0.2),
+                dispatch_overhead_bytes: rng.u64(1..8192),
+                target_tiles: rng.usize(1..64),
+            };
+            let tiles = shaper.shape(&visiting, &sizes, bpv, spill);
+
+            // Rebuild per-cluster visitor lists from the tiles.
+            let mut rebuilt: Vec<Vec<usize>> = vec![Vec::new(); clusters];
+            let mut fetches = vec![0usize; clusters];
+            for t in &tiles {
+                assert!(!t.queries.is_empty(), "empty tile emitted");
+                rebuilt[t.cluster].extend(&t.queries);
+                fetches[t.cluster] += usize::from(t.fetches_codes);
+            }
+            for c in 0..clusters {
+                assert_eq!(rebuilt[c], visiting[c], "cluster {c} not partitioned");
+                let expect = usize::from(!visiting[c].is_empty());
+                assert_eq!(fetches[c], expect, "cluster {c} fetch count");
+            }
+            // Cluster-major order: tiles of a cluster are contiguous and
+            // ascending in cluster id.
+            let ids: Vec<usize> = tiles.iter().map(|t| t.cluster).collect();
+            let mut sorted = ids.clone();
+            sorted.sort_unstable();
+            assert_eq!(ids, sorted, "tiles must stay cluster-major");
+        });
+    }
+
+    #[test]
+    fn shaping_is_independent_of_worker_count_by_construction() {
+        // The shaper API takes no thread count: two calls with identical
+        // workloads yield identical tiles. (Guards the stats-determinism
+        // argument in the module docs against future signature drift.)
+        let shaper = TileShaper::default();
+        let visiting = vec![(0..50).collect::<Vec<_>>(), (5..25).collect::<Vec<_>>()];
+        let sizes = [10_000, 4_000];
+        let a = shaper.shape(&visiting, &sizes, 64, 50);
+        let b = shaper.shape(&visiting, &sizes, 64, 50);
+        assert_eq!(a, b);
+    }
+}
