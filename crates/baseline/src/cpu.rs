@@ -253,10 +253,14 @@ pub fn measure_batched_qps_with(
 
 /// [`measure_batched_qps_with`] with a telemetry sink.
 ///
-/// The warm-up pass runs uninstrumented; the timed pass runs under a
-/// `cpu.batch` span, so the snapshot carries the baseline's stage
-/// timings, per-worker utilization and bridged `batch.*` traffic
-/// counters, and the measured throughput lands in the `cpu.qps` gauge.
+/// The warm-up pass runs uninstrumented; then **three** timed passes run
+/// under `cpu.batch` spans and the best (fastest) one decides the
+/// reported QPS, mirroring how [`measure_stream_bandwidth`] reports its
+/// best-of-3 — a single timed pass let scheduler noise land directly in
+/// `reports/threads_sweep.json`. The snapshot carries the baseline's
+/// stage timings, per-worker utilization and bridged `plan.*` traffic
+/// counters for all three passes (the `cpu.batch` histogram holds three
+/// samples), and the best-pass throughput lands in the `cpu.qps` gauge.
 pub fn measure_batched_qps_traced(
     index: &IvfPqIndex,
     queries: &VectorSet,
@@ -267,13 +271,16 @@ pub fn measure_batched_qps_traced(
     let scan = anna_index::BatchedScan::new(index);
     let exec = anna_index::BatchExec::with_threads(threads);
     let _warm = scan.run_with(queries, params, &exec);
-    let start = std::time::Instant::now();
-    {
-        let _span = tel.span("cpu.batch");
-        let _ = scan.run_instrumented(queries, params, &exec, tel);
+    let mut best_secs = f64::INFINITY;
+    for _ in 0..3 {
+        let start = std::time::Instant::now();
+        {
+            let _span = tel.span("cpu.batch");
+            let _ = scan.run_instrumented(queries, params, &exec, tel);
+        }
+        best_secs = best_secs.min(start.elapsed().as_secs_f64().max(1e-9));
     }
-    let secs = start.elapsed().as_secs_f64().max(1e-9);
-    let qps = queries.len() as f64 / secs;
+    let qps = queries.len() as f64 / best_secs;
     tel.gauge_set("cpu.qps", qps as u64);
     qps
 }
@@ -523,5 +530,11 @@ mod tests {
         ] {
             assert!(snap.contains(key), "missing {key} in {snap}");
         }
+        // Best-of-3: all three timed passes must land in the span
+        // histogram (one noisy pass must never decide the report alone).
+        assert!(
+            snap.contains("\"cpu.batch\":{\"count\":3"),
+            "expected 3 timed passes in {snap}"
+        );
     }
 }

@@ -16,6 +16,7 @@
 //! | `--bin calibrate` | host kernel-rate measurement for the CPU model |
 //! | [`kernels_sweep`] / `--bin kernels_sweep` | scan-kernel dispatch sweep (codes/sec, GB/s) |
 //! | [`threads_sweep`] / `--bin threads_sweep` | worker-count scaling of the batch engine |
+//! | [`serving_sweep`] / `--bin serving_sweep` | online serving: latency vs offered load ([`openloop`] arrivals through `anna-serve`) |
 //! | `--bin runall` | everything above, writing `reports/*.json` |
 //!
 //! Binaries accept `--full` for the full-scale profile (see
@@ -33,8 +34,10 @@ pub mod fig9;
 pub mod harness;
 pub mod json;
 pub mod kernels_sweep;
+pub mod openloop;
 pub mod related;
 pub mod scale;
+pub mod serving_sweep;
 pub mod table1;
 pub mod threads_sweep;
 pub mod timeline;

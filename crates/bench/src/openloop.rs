@@ -1,0 +1,287 @@
+//! Seeded open-loop request generation for the serving benchmarks.
+//!
+//! An *open-loop* generator decides arrival times without looking at the
+//! server (arrivals keep coming even while the service falls behind) —
+//! the load shape under which queueing actually happens, and the one a
+//! closed-loop driver structurally cannot produce. Arrivals are drawn on
+//! a virtual nanosecond clock from a seeded [`rand::rngs::StdRng`], so a
+//! `(config, seed)` pair always yields the identical trace: the serving
+//! layer's replay-determinism property builds on that.
+//!
+//! Three intensity profiles cover the shapes a latency SLO has to
+//! survive: homogeneous [`ArrivalProfile::Poisson`], square-wave
+//! [`ArrivalProfile::Bursty`], and slow sinusoidal
+//! [`ArrivalProfile::Diurnal`]. The nonhomogeneous profiles are sampled
+//! by Lewis–Shedler thinning: draw candidate arrivals from a Poisson
+//! process at the peak intensity, keep each with probability
+//! `λ(t) / λ_peak`.
+
+use anna_serve::Request;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The arrival-intensity profile of an open-loop trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProfile {
+    /// Homogeneous Poisson arrivals at the configured rate.
+    Poisson,
+    /// Square-wave bursts: intensity `rate · multiplier` for the first
+    /// `burst_ns` of every `period_ns`, `rate` otherwise. Models fan-out
+    /// spikes (cache misses, retry storms).
+    Bursty {
+        /// Burst recurrence period on the virtual clock.
+        period_ns: u64,
+        /// Burst duration at the start of each period (`< period_ns`).
+        burst_ns: u64,
+        /// Intensity multiplier inside the burst (`> 1`).
+        multiplier: f64,
+    },
+    /// Raised-cosine intensity between `trough_fraction · rate` and
+    /// `rate` with the given period — a sped-up day/night load cycle.
+    Diurnal {
+        /// Cycle length on the virtual clock.
+        period_ns: u64,
+        /// Intensity floor as a fraction of the peak rate (in `[0, 1]`).
+        trough_fraction: f64,
+    },
+}
+
+impl ArrivalProfile {
+    /// Peak intensity multiplier over the base rate (the thinning bound).
+    fn peak_multiplier(&self) -> f64 {
+        match *self {
+            ArrivalProfile::Poisson => 1.0,
+            ArrivalProfile::Bursty { multiplier, .. } => multiplier.max(1.0),
+            ArrivalProfile::Diurnal { .. } => 1.0,
+        }
+    }
+
+    /// Intensity multiplier at virtual time `t_ns` (relative to the base
+    /// rate; `≤` [`ArrivalProfile::peak_multiplier`]).
+    fn multiplier_at(&self, t_ns: f64) -> f64 {
+        match *self {
+            ArrivalProfile::Poisson => 1.0,
+            ArrivalProfile::Bursty {
+                period_ns,
+                burst_ns,
+                multiplier,
+            } => {
+                let phase = t_ns % period_ns.max(1) as f64;
+                if phase < burst_ns as f64 {
+                    multiplier.max(1.0)
+                } else {
+                    1.0
+                }
+            }
+            ArrivalProfile::Diurnal {
+                period_ns,
+                trough_fraction,
+            } => {
+                let f = trough_fraction.clamp(0.0, 1.0);
+                let phase = t_ns / period_ns.max(1) as f64 * std::f64::consts::TAU;
+                f + (1.0 - f) * 0.5 * (1.0 + phase.cos())
+            }
+        }
+    }
+
+    /// Short machine-readable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ArrivalProfile::Poisson => "poisson",
+            ArrivalProfile::Bursty { .. } => "bursty",
+            ArrivalProfile::Diurnal { .. } => "diurnal",
+        }
+    }
+}
+
+/// Configuration of one open-loop trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenLoopConfig {
+    /// Seed for the arrival/parameter stream.
+    pub seed: u64,
+    /// Base arrival intensity in requests per second (the bursty profile
+    /// exceeds it inside bursts; the diurnal profile peaks at it).
+    pub rate_qps: f64,
+    /// Number of requests to generate.
+    pub requests: usize,
+    /// Intensity profile.
+    pub profile: ArrivalProfile,
+    /// Per-request `k` is drawn uniformly from these choices.
+    pub k_choices: Vec<usize>,
+    /// Per-request `nprobe` is drawn uniformly from these choices.
+    pub nprobe_choices: Vec<usize>,
+    /// Latency budget stamped on every request (`u64::MAX`: none).
+    pub deadline_ns: u64,
+    /// Query rows are drawn uniformly from `0..query_pool`.
+    pub query_pool: usize,
+}
+
+/// Generates the trace for `cfg`: `cfg.requests` requests with sorted
+/// arrival times, heterogeneous `k`/`nprobe`, and ids `0..requests`.
+///
+/// Deterministic in `cfg` (same config and seed → identical trace).
+///
+/// # Panics
+///
+/// Panics if `rate_qps` is not positive, `query_pool` is zero, or a
+/// choice list is empty.
+pub fn generate(cfg: &OpenLoopConfig) -> Vec<Request> {
+    assert!(cfg.rate_qps > 0.0, "rate must be positive");
+    assert!(cfg.query_pool > 0, "query pool must be non-empty");
+    assert!(
+        !cfg.k_choices.is_empty() && !cfg.nprobe_choices.is_empty(),
+        "k/nprobe choice lists must be non-empty"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let peak_per_ns = cfg.rate_qps * cfg.profile.peak_multiplier() / 1e9;
+    let mut t_ns = 0.0f64;
+    let mut out = Vec::with_capacity(cfg.requests);
+    while out.len() < cfg.requests {
+        // Candidate inter-arrival from the peak-rate Poisson process.
+        let u: f64 = rng.gen();
+        t_ns += -(1.0 - u).ln() / peak_per_ns;
+        // Thinning: keep with probability λ(t)/λ_peak.
+        let accept: f64 = rng.gen();
+        if accept * cfg.profile.peak_multiplier() > cfg.profile.multiplier_at(t_ns) {
+            continue;
+        }
+        let id = out.len() as u64;
+        out.push(Request {
+            id,
+            query_row: rng.gen_range(0..cfg.query_pool),
+            k: cfg.k_choices[rng.gen_range(0..cfg.k_choices.len())],
+            nprobe: cfg.nprobe_choices[rng.gen_range(0..cfg.nprobe_choices.len())],
+            arrival_ns: t_ns as u64,
+            deadline_ns: cfg.deadline_ns,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base(profile: ArrivalProfile) -> OpenLoopConfig {
+        OpenLoopConfig {
+            seed: 7,
+            rate_qps: 50_000.0,
+            requests: 2_000,
+            profile,
+            k_choices: vec![3, 5, 10],
+            nprobe_choices: vec![2, 4, 8],
+            deadline_ns: u64::MAX,
+            query_pool: 128,
+        }
+    }
+
+    #[test]
+    fn same_seed_yields_the_identical_trace() {
+        for profile in [
+            ArrivalProfile::Poisson,
+            ArrivalProfile::Bursty {
+                period_ns: 5_000_000,
+                burst_ns: 1_000_000,
+                multiplier: 4.0,
+            },
+            ArrivalProfile::Diurnal {
+                period_ns: 20_000_000,
+                trough_fraction: 0.2,
+            },
+        ] {
+            let cfg = base(profile);
+            assert_eq!(generate(&cfg), generate(&cfg), "{}", profile.name());
+            let other = OpenLoopConfig {
+                seed: 8,
+                ..cfg.clone()
+            };
+            assert_ne!(generate(&cfg), generate(&other), "{}", profile.name());
+        }
+    }
+
+    #[test]
+    fn traces_are_sorted_sized_and_in_range() {
+        let cfg = base(ArrivalProfile::Poisson);
+        let trace = generate(&cfg);
+        assert_eq!(trace.len(), cfg.requests);
+        for w in trace.windows(2) {
+            assert!(w[0].arrival_ns <= w[1].arrival_ns, "unsorted arrivals");
+        }
+        for (i, r) in trace.iter().enumerate() {
+            assert_eq!(r.id, i as u64);
+            assert!(r.query_row < cfg.query_pool);
+            assert!(cfg.k_choices.contains(&r.k));
+            assert!(cfg.nprobe_choices.contains(&r.nprobe));
+        }
+    }
+
+    #[test]
+    fn poisson_hits_the_configured_rate() {
+        let cfg = base(ArrivalProfile::Poisson);
+        let trace = generate(&cfg);
+        let span_s = trace.last().unwrap().arrival_ns as f64 / 1e9;
+        let measured = trace.len() as f64 / span_s;
+        let err = (measured - cfg.rate_qps).abs() / cfg.rate_qps;
+        assert!(err < 0.1, "measured {measured} vs {} qps", cfg.rate_qps);
+    }
+
+    #[test]
+    fn bursty_is_burstier_than_poisson() {
+        // Compare the dispersion of arrivals-per-window: a square-wave
+        // intensity must push the index of dispersion well above the
+        // Poisson profile's.
+        let dispersion = |profile| {
+            let trace = generate(&base(profile));
+            let window = 1_000_000u64; // 1 ms
+            let last = trace.last().unwrap().arrival_ns / window + 1;
+            let mut counts = vec![0.0f64; last as usize];
+            for r in &trace {
+                counts[(r.arrival_ns / window) as usize] += 1.0;
+            }
+            let mean = counts.iter().sum::<f64>() / counts.len() as f64;
+            let var =
+                counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / counts.len() as f64;
+            var / mean
+        };
+        let poisson = dispersion(ArrivalProfile::Poisson);
+        let bursty = dispersion(ArrivalProfile::Bursty {
+            period_ns: 5_000_000,
+            burst_ns: 1_000_000,
+            multiplier: 8.0,
+        });
+        assert!(
+            bursty > poisson * 2.0,
+            "bursty dispersion {bursty} vs poisson {poisson}"
+        );
+    }
+
+    #[test]
+    fn diurnal_trough_is_quieter_than_its_peak() {
+        let period_ns = 40_000_000u64;
+        let cfg = OpenLoopConfig {
+            requests: 4_000,
+            profile: ArrivalProfile::Diurnal {
+                period_ns,
+                trough_fraction: 0.1,
+            },
+            ..base(ArrivalProfile::Poisson)
+        };
+        let trace = generate(&cfg);
+        // Peak phase: first/last eighth of each period (cos ≈ 1); trough
+        // phase: the middle eighths around period/2 (cos ≈ -1).
+        let (mut peak, mut trough) = (0usize, 0usize);
+        for r in &trace {
+            let phase = r.arrival_ns % period_ns;
+            let eighth = phase / (period_ns / 8);
+            match eighth {
+                0 | 7 => peak += 1,
+                3 | 4 => trough += 1,
+                _ => {}
+            }
+        }
+        assert!(
+            peak as f64 > trough as f64 * 2.0,
+            "peak {peak} vs trough {trough}"
+        );
+    }
+}

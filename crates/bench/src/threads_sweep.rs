@@ -132,14 +132,14 @@ pub fn run_traced(
         .total();
 
     let mut points = Vec::new();
-    let mut serial_qps = 0.0f64;
+    let mut serial_qps: Option<f64> = None;
     for &threads in thread_counts {
         let point_tel = tel
             .scoped(&format!("threads{threads}"))
             .with_process(threads as u64);
         let qps = measure_batched_qps_traced(&index, &queries, &params, threads, &point_tel);
         if threads == 1 {
-            serial_qps = qps;
+            serial_qps = Some(qps);
         }
         let (got, _) = scan.run_with(&queries, &params, &BatchExec::with_threads(threads));
         let achieved = traffic_bytes_per_batch as f64 * qps / batch.max(1) as f64;
@@ -154,9 +154,18 @@ pub fn run_traced(
             achieved_vs_roofline: achieved / roofline.max(1.0),
         });
     }
-    if serial_qps <= 0.0 {
-        serial_qps = points.first().map(|p| p.qps).unwrap_or(1.0);
-    }
+    // The speedup column is *defined* relative to the measured threads=1
+    // point. Fabricating a stand-in baseline (the old fallback used the
+    // first point, or 1.0) would silently rescale every speedup, so a
+    // sweep without a positive serial measurement is a hard error.
+    let serial_qps = match serial_qps {
+        Some(q) if q > 0.0 => q,
+        Some(q) => panic!("threads=1 reference measured non-positive QPS ({q}); refusing to fabricate a speedup baseline"),
+        None => panic!(
+            "threads sweep requires a threads=1 serial reference point, got {thread_counts:?}; \
+             speedups would otherwise be relative to a fabricated baseline"
+        ),
+    };
     for p in &mut points {
         p.speedup = p.qps / serial_qps;
     }
@@ -303,6 +312,14 @@ mod tests {
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "threads=1 serial reference")]
+    fn sweep_without_serial_point_fails_loudly() {
+        // Regression: the old code silently substituted the first point's
+        // QPS (or 1.0) as the baseline, fabricating every speedup.
+        let _ = run(2_000, 16, &[2, 4]);
     }
 
     #[test]

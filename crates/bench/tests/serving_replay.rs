@@ -1,0 +1,98 @@
+//! End-to-end replay determinism for the serving pipeline: a seeded
+//! open-loop config generates the identical trace, and the identical
+//! trace composes the identical batch schedule — the property that makes
+//! any batch in a serving report re-derivable offline.
+
+use anna_bench::openloop::{generate, ArrivalProfile, OpenLoopConfig};
+use anna_index::{IvfPqConfig, IvfPqIndex};
+use anna_serve::{compose, ServeConfig};
+use anna_testkit::{forall, TestRng};
+use anna_vector::{Metric, VectorSet};
+
+fn build_index(db_n: usize) -> (VectorSet, IvfPqIndex) {
+    let data = VectorSet::from_fn(16, db_n, |r, c| {
+        let blob = (r % 16) as f32;
+        blob * 16.0 + ((r * 31 + c * 7) % 13) as f32 * 0.4
+    });
+    let index = IvfPqIndex::build(
+        &data,
+        &IvfPqConfig {
+            metric: Metric::L2,
+            num_clusters: 24,
+            m: 8,
+            kstar: 16,
+            coarse_iters: 3,
+            pq_iters: 2,
+            ..IvfPqConfig::default()
+        },
+    );
+    (data, index)
+}
+
+#[test]
+fn seeded_trace_replays_to_identical_batch_compositions() {
+    let (data, index) = build_index(3_000);
+    let pool = data.gather(&(0..128).collect::<Vec<_>>());
+    forall("serving replay", 6, |rng: &mut TestRng| {
+        let profile = *rng.pick(&[
+            ArrivalProfile::Poisson,
+            ArrivalProfile::Bursty {
+                period_ns: 4_000_000,
+                burst_ns: 1_000_000,
+                multiplier: 4.0,
+            },
+            ArrivalProfile::Diurnal {
+                period_ns: 30_000_000,
+                trough_fraction: 0.2,
+            },
+        ]);
+        let cfg = OpenLoopConfig {
+            seed: rng.next_u64(),
+            rate_qps: rng.f64(5_000.0..200_000.0),
+            requests: rng.usize(20..120),
+            profile,
+            k_choices: vec![3, 5, 10],
+            nprobe_choices: vec![2, 4, 8],
+            deadline_ns: *rng.pick(&[u64::MAX, 100_000_000]),
+            query_pool: pool.len(),
+        };
+        let serve_cfg = ServeConfig {
+            max_batch: rng.usize(4..33),
+            max_wait_ns: rng.u64(200_000..3_000_000),
+            queue_capacity: rng.usize(16..128),
+            service_bytes_per_sec: rng.u64(10_000_000..8_000_000_000),
+            shape_candidates: rng.usize(1..4),
+        };
+
+        // Same seed → identical trace.
+        let trace = generate(&cfg);
+        assert_eq!(trace, generate(&cfg), "generator is not replayable");
+
+        // Identical trace → identical batch compositions, plans, priced
+        // quotes, and admission decisions.
+        let a = compose(&index, &pool, &trace, &serve_cfg);
+        let b = compose(&index, &pool, &trace, &serve_cfg);
+        assert_eq!(a, b, "batcher is not replayable");
+
+        // The schedule is internally consistent: batches are disjoint,
+        // cover exactly the dispatched admissions, and dispatch in
+        // nondecreasing virtual time.
+        let mut seen = vec![false; trace.len()];
+        let mut last_dispatch = 0;
+        for batch in &a.batches {
+            assert!(
+                batch.dispatch_ns >= last_dispatch,
+                "dispatch went backwards"
+            );
+            last_dispatch = batch.dispatch_ns;
+            for &i in &batch.requests {
+                assert!(!seen[i], "request {i} dispatched twice");
+                seen[i] = true;
+                assert!(
+                    trace[i].arrival_ns <= batch.dispatch_ns,
+                    "request {i} dispatched before it arrived"
+                );
+            }
+        }
+    });
+}

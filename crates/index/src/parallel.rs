@@ -711,7 +711,12 @@ mod tests {
         // and the capacity covers the largest wave.
         for w in 0..s.starts.len() - 1 {
             let mut expect = 0usize;
-            for (i, r) in rounds.iter().enumerate().take(s.starts[w + 1]).skip(s.starts[w]) {
+            for (i, r) in rounds
+                .iter()
+                .enumerate()
+                .take(s.starts[w + 1])
+                .skip(s.starts[w])
+            {
                 assert_eq!(s.slot_offset[i], expect, "round {i}");
                 expect += r.queries.len();
             }

@@ -1,0 +1,455 @@
+//! The dynamic micro-batcher: a deterministic discrete-event machine over
+//! a virtual-time arrival trace.
+//!
+//! The batcher turns an open-loop arrival trace into a sequence of
+//! [`PlannedBatch`]es plus one explicit admission decision per request:
+//!
+//! 1. **Admission** — an arriving request is shed when the queue is at
+//!    capacity (backpressure toward the client).
+//! 2. **Window close** — a batch window closes on whichever fires first:
+//!    the *max-wait deadline* (`open + max_wait_ns`) or the *size
+//!    threshold* (`max_batch` queued requests), deferred until the
+//!    (virtual) server is free — a batch the worker pool cannot accept is
+//!    not closed, which is what lets the queue exert backpressure.
+//! 3. **Shape pricing** — at close, candidate batch shapes (prefixes of
+//!    the FIFO queue) are priced in bytes with the
+//!    [`anna_plan::TrafficModel`] over the *exact* shaped
+//!    [`BatchPlan`] each shape would execute; the shape with the lowest
+//!    predicted bytes per query wins (ties prefer the larger batch).
+//! 4. **Deadline filter** — requests the predicted completion time
+//!    (`close + predicted_service`) would already put past their deadline
+//!    are dropped with an explicit timeout outcome instead of burning
+//!    service capacity on dead answers.
+//!
+//! Everything here is integer arithmetic over the virtual clock plus the
+//! plan layer's deterministic byte accounting — **no floats, no host
+//! clock** — so composing the same trace twice yields bit-identical
+//! schedules. The property harness asserts exactly that (replay-identical
+//! batch compositions), which is what makes open-loop serving results
+//! debuggable: any batch in a report can be re-derived offline from the
+//! trace and the config.
+
+use std::collections::VecDeque;
+
+use crate::request::Request;
+use anna_index::IvfPqIndex;
+use anna_plan::{
+    BatchPlan, BatchWorkload, PlanParams, SearchShape, TileShaper, TrafficModel, TrafficReport,
+};
+use anna_vector::VectorSet;
+
+/// Serving-layer configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Size threshold: a window holding this many requests closes
+    /// immediately (once the server is free).
+    pub max_batch: usize,
+    /// Max-wait deadline: a window older than this closes even when
+    /// under-full — the latency half of the latency/throughput tradeoff.
+    pub max_wait_ns: u64,
+    /// Admission bound on queued (not yet dispatched) requests; arrivals
+    /// beyond it are shed.
+    pub queue_capacity: usize,
+    /// Predicted service rate in priced bytes per second, used for the
+    /// virtual-time queue dynamics (server-busy deferral, deadline
+    /// prediction). Calibrate with [`crate::calibrate_service_rate`] or
+    /// fix it in tests for exact replay.
+    pub service_bytes_per_sec: u64,
+    /// How many candidate prefix shapes the batcher prices per close
+    /// (including the full prefix; at least 1).
+    pub shape_candidates: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 64,
+            max_wait_ns: 2_000_000, // 2 ms
+            queue_capacity: 512,
+            service_bytes_per_sec: 4_000_000_000, // ~4 GB/s until calibrated
+            shape_candidates: 3,
+        }
+    }
+}
+
+/// One priced candidate batch shape considered at a window close.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShapeQuote {
+    /// Prefix length priced.
+    pub size: usize,
+    /// TrafficModel-predicted total bytes for that prefix's shaped plan.
+    pub predicted_bytes: u64,
+}
+
+/// One batch the batcher committed to dispatch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedBatch {
+    /// Position in the schedule (dispatch order).
+    pub seq: usize,
+    /// Virtual time the batch's window opened.
+    pub open_ns: u64,
+    /// Virtual time the window closed and the batch dispatched.
+    pub dispatch_ns: u64,
+    /// Trace indices of the dispatched requests, FIFO order.
+    pub requests: Vec<usize>,
+    /// The heap size the engine runs with: the largest `k` in the batch
+    /// (per-request results are truncated back to their own `k`).
+    pub k_exec: usize,
+    /// The exact shaped plan the engine will execute.
+    pub plan: BatchPlan,
+    /// The TrafficModel's byte-exact prediction for `plan` — the
+    /// executor asserts the measured bytes equal this, component for
+    /// component.
+    pub predicted: TrafficReport,
+    /// Predicted service time at the configured byte rate.
+    pub predicted_service_ns: u64,
+    /// Every candidate shape priced at this close (the chosen one
+    /// included), for the report's pricing audit trail.
+    pub quotes: Vec<ShapeQuote>,
+}
+
+/// Per-request admission decision, aligned with the trace by index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Dispatched in schedule batch `batch`.
+    Dispatched {
+        /// Batch sequence number.
+        batch: usize,
+    },
+    /// Shed at arrival (queue full).
+    Shed {
+        /// Queue depth at the rejecting arrival.
+        queue_depth: usize,
+    },
+    /// Dropped at a window close because the predicted completion missed
+    /// the deadline.
+    TimedOut {
+        /// Virtual wait accumulated when dropped.
+        predicted_wait_ns: u64,
+    },
+}
+
+/// The batcher's deterministic output: batches plus per-request decisions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchSchedule {
+    /// Dispatched batches in dispatch order.
+    pub batches: Vec<PlannedBatch>,
+    /// One decision per trace request.
+    pub admissions: Vec<Admission>,
+    /// Virtual time the (virtual) server frees after the last batch.
+    pub server_free_ns: u64,
+}
+
+impl BatchSchedule {
+    /// Total requests dispatched across all batches.
+    pub fn dispatched(&self) -> usize {
+        self.batches.iter().map(|b| b.requests.len()).sum()
+    }
+}
+
+/// Prices one prefix of the queue: workload, shaped plan, prediction.
+struct PrefixPricing {
+    k_exec: usize,
+    plan: BatchPlan,
+    predicted: TrafficReport,
+}
+
+struct Composer<'a> {
+    index: &'a IvfPqIndex,
+    queries: &'a VectorSet,
+    trace: &'a [Request],
+    cfg: &'a ServeConfig,
+    cluster_sizes: Vec<usize>,
+    /// Per-trace-index visited-cluster list, computed once on first use.
+    visit_cache: Vec<Option<Vec<usize>>>,
+}
+
+impl<'a> Composer<'a> {
+    fn visits(&mut self, idx: usize) -> &Vec<usize> {
+        if self.visit_cache[idx].is_none() {
+            let r = &self.trace[idx];
+            self.visit_cache[idx] = Some(
+                self.index
+                    .filter_clusters(self.queries.row(r.query_row), r.nprobe),
+            );
+        }
+        self.visit_cache[idx].as_ref().unwrap()
+    }
+
+    fn shape(&self, k_exec: usize) -> SearchShape {
+        let book = self.index.codebook();
+        SearchShape {
+            d: self.index.dim(),
+            m: book.m(),
+            kstar: book.kstar(),
+            metric: self.index.metric(),
+            num_clusters: self.index.num_clusters(),
+            k: k_exec,
+        }
+    }
+
+    /// Builds the workload + shaped plan + traffic prediction for the
+    /// request indices `idxs` (deterministic: TileShaper and the traffic
+    /// model are pure integer functions of the workload).
+    fn price(&mut self, idxs: &[usize]) -> (BatchWorkload, PrefixPricing) {
+        let k_exec = idxs
+            .iter()
+            .map(|&i| self.trace[i].k)
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let visits: Vec<Vec<usize>> = idxs.iter().map(|&i| self.visits(i).clone()).collect();
+        let workload = BatchWorkload {
+            shape: self.shape(k_exec),
+            cluster_sizes: self.cluster_sizes.clone(),
+            visits,
+        };
+        let params = PlanParams::default();
+        let spill_unit = k_exec as u64 * params.topk_record_bytes as u64;
+        let plan = BatchPlan::shaped_from_visitors(
+            &workload.visitors_per_cluster(),
+            &workload.cluster_sizes,
+            workload.shape.encoded_bytes_per_vector(),
+            &TileShaper::default(),
+            spill_unit,
+        );
+        let predicted = TrafficModel::new(params).price(&workload, &plan);
+        (
+            workload,
+            PrefixPricing {
+                k_exec,
+                plan,
+                predicted,
+            },
+        )
+    }
+
+    fn service_ns(&self, bytes: u64) -> u64 {
+        let rate = self.cfg.service_bytes_per_sec.max(1) as u128;
+        ((bytes as u128 * 1_000_000_000).div_ceil(rate)) as u64
+    }
+}
+
+/// The candidate prefix sizes priced at a close: `n`, then `shape_candidates - 1`
+/// geometrically shrinking prefixes (3n/4, n/2, n/4, …), deduplicated,
+/// all at least 1.
+fn candidate_sizes(n: usize, shapes: usize) -> Vec<usize> {
+    let mut out = vec![n];
+    let mut cur = n;
+    while out.len() < shapes.max(1) {
+        cur = (cur * 3 / 4).max(1);
+        if cur == *out.last().unwrap() {
+            break;
+        }
+        out.push(cur);
+    }
+    out
+}
+
+/// Composes the deterministic batch schedule for `trace` served out of
+/// `queries` over `index` under `cfg`.
+///
+/// Arrivals must be sorted by `arrival_ns` (the generator's contract).
+/// The returned schedule is a pure function of its inputs: composing the
+/// same trace twice yields `==` schedules, including every plan round and
+/// every priced candidate shape.
+///
+/// # Panics
+///
+/// Panics if arrivals are unsorted, a `query_row` is out of range of
+/// `queries`, or `cfg.max_batch == 0` / `cfg.queue_capacity == 0`.
+pub fn compose(
+    index: &IvfPqIndex,
+    queries: &VectorSet,
+    trace: &[Request],
+    cfg: &ServeConfig,
+) -> BatchSchedule {
+    assert!(cfg.max_batch > 0, "max_batch must be positive");
+    assert!(cfg.queue_capacity > 0, "queue_capacity must be positive");
+    let mut composer = Composer {
+        index,
+        queries,
+        trace,
+        cfg,
+        cluster_sizes: index.cluster_sizes(),
+        visit_cache: vec![None; trace.len()],
+    };
+    let mut admissions: Vec<Option<Admission>> = vec![None; trace.len()];
+    let mut batches: Vec<PlannedBatch> = Vec::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    // Virtual time the open window wants to close (None: no open window).
+    let mut trigger: Option<u64> = None;
+    let mut window_open: u64 = 0;
+    let mut server_free: u64 = 0;
+
+    let fire = |close: u64,
+                open: u64,
+                queue: &mut VecDeque<usize>,
+                server_free: &mut u64,
+                admissions: &mut Vec<Option<Admission>>,
+                batches: &mut Vec<PlannedBatch>,
+                composer: &mut Composer| {
+        let n_avail = queue.len().min(composer.cfg.max_batch);
+        debug_assert!(n_avail > 0);
+        let prefix: Vec<usize> = queue.iter().take(n_avail).copied().collect();
+
+        // Price candidate shapes; pick min predicted bytes per query via
+        // cross-multiplication (no floats), ties to the larger batch.
+        let mut quotes: Vec<ShapeQuote> = Vec::new();
+        let mut priced: Vec<PrefixPricing> = Vec::new();
+        for &size in &candidate_sizes(n_avail, composer.cfg.shape_candidates) {
+            let (_, p) = composer.price(&prefix[..size]);
+            quotes.push(ShapeQuote {
+                size,
+                predicted_bytes: p.predicted.total(),
+            });
+            priced.push(p);
+        }
+        let mut best = 0usize;
+        for i in 1..quotes.len() {
+            let (a, b) = (&quotes[i], &quotes[best]);
+            let lhs = a.predicted_bytes as u128 * b.size as u128;
+            let rhs = b.predicted_bytes as u128 * a.size as u128;
+            if lhs < rhs || (lhs == rhs && a.size > b.size) {
+                best = i;
+            }
+        }
+        let chosen_size = quotes[best].size;
+        let mut pricing = priced.swap_remove(best);
+        let mut chosen: Vec<usize> = prefix[..chosen_size].to_vec();
+
+        // Deadline filter: drop requests whose predicted completion is
+        // already past their deadline, then re-price the survivors once
+        // (the dropped requests shrink the plan, never grow it).
+        let mut service = composer.service_ns(pricing.predicted.total());
+        let predicted_done = close.saturating_add(service);
+        let survivors: Vec<usize> = chosen
+            .iter()
+            .copied()
+            .filter(|&i| predicted_done <= composer.trace[i].deadline_at())
+            .collect();
+        if survivors.len() < chosen.len() {
+            for &i in &chosen {
+                if !survivors.contains(&i) {
+                    admissions[i] = Some(Admission::TimedOut {
+                        predicted_wait_ns: close.saturating_sub(composer.trace[i].arrival_ns),
+                    });
+                }
+            }
+            if !survivors.is_empty() {
+                let (_, p) = composer.price(&survivors);
+                pricing = p;
+                service = composer.service_ns(pricing.predicted.total());
+            }
+            chosen = survivors;
+        }
+
+        for _ in 0..chosen_size {
+            queue.pop_front();
+        }
+        if !chosen.is_empty() {
+            let seq = batches.len();
+            for &i in &chosen {
+                admissions[i] = Some(Admission::Dispatched { batch: seq });
+            }
+            batches.push(PlannedBatch {
+                seq,
+                open_ns: open,
+                dispatch_ns: close,
+                requests: chosen,
+                k_exec: pricing.k_exec,
+                plan: pricing.plan,
+                predicted: pricing.predicted,
+                predicted_service_ns: service,
+                quotes,
+            });
+            *server_free = close.saturating_add(service);
+        }
+    };
+
+    let mut last_arrival = 0u64;
+    for i in 0..trace.len() {
+        let t = trace[i].arrival_ns;
+        assert!(t >= last_arrival, "arrivals must be sorted by time");
+        last_arrival = t;
+
+        // Fire every window close due before this arrival.
+        while let Some(tr) = trigger {
+            let close = tr.max(server_free);
+            if close > t || queue.is_empty() {
+                break;
+            }
+            fire(
+                close,
+                window_open,
+                &mut queue,
+                &mut server_free,
+                &mut admissions,
+                &mut batches,
+                &mut composer,
+            );
+            if queue.is_empty() {
+                trigger = None;
+            } else {
+                // Leftover requests already waited a full window: close
+                // again as soon as the server frees.
+                trigger = Some(close);
+                window_open = close;
+            }
+        }
+
+        if queue.len() >= cfg.queue_capacity {
+            admissions[i] = Some(Admission::Shed {
+                queue_depth: queue.len(),
+            });
+            continue;
+        }
+        if queue.is_empty() && trigger.is_none() {
+            window_open = t;
+            trigger = Some(t.saturating_add(cfg.max_wait_ns));
+        }
+        queue.push_back(i);
+        if queue.len() >= cfg.max_batch {
+            // Size threshold reached: pull the close forward to now.
+            trigger = Some(trigger.map_or(t, |tr| tr.min(t)));
+        }
+    }
+
+    // Drain: fire remaining windows in virtual time.
+    while !queue.is_empty() {
+        let close = trigger.map_or(server_free, |tr| tr.max(server_free));
+        fire(
+            close,
+            window_open,
+            &mut queue,
+            &mut server_free,
+            &mut admissions,
+            &mut batches,
+            &mut composer,
+        );
+        trigger = Some(close);
+        window_open = close;
+    }
+
+    BatchSchedule {
+        batches,
+        admissions: admissions
+            .into_iter()
+            .map(|a| a.expect("every request receives exactly one decision"))
+            .collect(),
+        server_free_ns: server_free,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidate_sizes_shrink_and_dedup() {
+        assert_eq!(candidate_sizes(64, 3), vec![64, 48, 36]);
+        assert_eq!(candidate_sizes(2, 4), vec![2, 1]);
+        assert_eq!(candidate_sizes(1, 5), vec![1]);
+        assert_eq!(candidate_sizes(10, 1), vec![10]);
+    }
+}

@@ -1,0 +1,42 @@
+//! Online serving layer for the ANNA reproduction: an
+//! admission-controlled request queue with a deterministic dynamic
+//! micro-batcher in front of the cluster-major batch engine.
+//!
+//! The paper evaluates ANNA on fixed offline batches; a deployed ANNS
+//! service receives an *open-loop stream* of heterogeneous requests (each
+//! with its own `k`, `nprobe`, and latency deadline) and must trade
+//! per-request latency against the batch sizes that make the cluster-major
+//! schedule (Section IV) pay off. This crate closes that gap in three
+//! layers:
+//!
+//! * [`Request`] / [`Outcome`] ([`request`]) — one arriving search and the
+//!   explicit decision it ends in: completed, shed at admission
+//!   (backpressure), or timed out in the queue.
+//! * [`compose`] ([`batcher`]) — the deterministic micro-batcher. Windows
+//!   close on *max-wait deadline or size threshold*; at each close the
+//!   candidate batch shapes are priced byte-exactly with the
+//!   [`anna_plan::TrafficModel`] and the cheapest bytes-per-query shape is
+//!   committed as a [`PlannedBatch`]. All decisions are integer
+//!   arithmetic on a virtual clock: the same seeded arrival trace always
+//!   composes the same [`BatchSchedule`] — the property harness asserts
+//!   replay-identical batch compositions.
+//! * [`execute`] ([`server`]) — dispatches each planned batch through
+//!   [`anna_index::BatchedScan::run_plan`], checks measured traffic
+//!   against the prediction *exactly* (the workspace's standing
+//!   predicted == measured invariant), and reports end-to-end latency as
+//!   virtual queue wait plus measured service time, with p50/p95/p99 from
+//!   [`anna_telemetry::Histogram`]s.
+//!
+//! The open-loop arrival generator (seeded Poisson, bursty, diurnal) and
+//! the offered-load sweep live in `anna-bench` (`openloop` /
+//! `serving_sweep`), which emits `reports/serving_sweep.json`.
+
+#![deny(missing_docs)]
+
+pub mod batcher;
+pub mod request;
+pub mod server;
+
+pub use batcher::{compose, Admission, BatchSchedule, PlannedBatch, ServeConfig, ShapeQuote};
+pub use request::{Outcome, Request};
+pub use server::{calibrate_service_rate, execute, BatchReport, LatencySummary, ServeReport};

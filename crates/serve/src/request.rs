@@ -1,0 +1,96 @@
+//! Request and outcome types for the online serving layer.
+//!
+//! A [`Request`] is one search arriving on an open-loop stream: it carries
+//! its *own* `k` and `nprobe` (the serving layer batches heterogeneous
+//! requests together) plus a virtual arrival timestamp and a latency
+//! deadline. Every request ends in exactly one explicit [`Outcome`] —
+//! completed, shed at admission, or timed out in the queue — so the
+//! latency report can never silently drop the requests it failed.
+
+/// One search request on the open-loop arrival stream.
+///
+/// Arrival times are *virtual* nanoseconds on the trace's own clock (the
+/// generator's time base, not the host clock). Keeping arrivals virtual is
+/// what makes the batcher's decisions replayable: the same trace composes
+/// the same batches on any host, while service times are measured for
+/// real at dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Caller-assigned request id (carried through to the outcome).
+    pub id: u64,
+    /// Row of the shared query pool [`anna_vector::VectorSet`] holding
+    /// this request's query vector.
+    pub query_row: usize,
+    /// Neighbors requested; results are truncated to this per request
+    /// even when batched with larger-`k` peers.
+    pub k: usize,
+    /// Clusters to probe for this request (mixed per request within a
+    /// batch: each query's visit list is its own).
+    pub nprobe: usize,
+    /// Virtual arrival time in nanoseconds.
+    pub arrival_ns: u64,
+    /// Latency budget relative to `arrival_ns`; `u64::MAX` means no
+    /// deadline.
+    pub deadline_ns: u64,
+}
+
+impl Request {
+    /// The absolute virtual time this request's deadline expires
+    /// (`u64::MAX` when unbounded).
+    pub fn deadline_at(&self) -> u64 {
+        self.arrival_ns.saturating_add(self.deadline_ns)
+    }
+}
+
+/// What happened to one request, aligned with the trace by index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Dispatched in batch `batch` and answered.
+    Completed {
+        /// Index of the dispatched batch in the schedule.
+        batch: usize,
+        /// Virtual queueing delay: dispatch time minus arrival time.
+        queue_wait_ns: u64,
+        /// End-to-end latency: virtual queue wait plus the *measured*
+        /// wall-clock service time of the batch that carried it.
+        latency_ns: u64,
+        /// Whether `latency_ns` exceeded the request's deadline (the
+        /// request was still answered — a late answer, not a drop).
+        deadline_missed: bool,
+    },
+    /// Rejected at admission: the queue was at capacity (backpressure).
+    Shed {
+        /// Queue depth observed at the rejecting arrival.
+        queue_depth: usize,
+    },
+    /// Dropped at batch close: the batcher predicted the request could
+    /// not complete within its deadline, so dispatching it would only
+    /// burn service capacity on a dead answer.
+    TimedOut {
+        /// Virtual wait the request had already accumulated when dropped.
+        predicted_wait_ns: u64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_at_saturates() {
+        let r = Request {
+            id: 0,
+            query_row: 0,
+            k: 1,
+            nprobe: 1,
+            arrival_ns: 10,
+            deadline_ns: u64::MAX,
+        };
+        assert_eq!(r.deadline_at(), u64::MAX);
+        let bounded = Request {
+            deadline_ns: 90,
+            ..r
+        };
+        assert_eq!(bounded.deadline_at(), 100);
+    }
+}

@@ -1,0 +1,274 @@
+//! Serving-layer invariants: replay-identical batch composition, explicit
+//! shed/timeout outcomes, exact predicted == measured traffic for every
+//! dispatched batch, and mixed-`k` result correctness against the
+//! query-at-a-time reference.
+
+use anna_index::{IvfPqConfig, IvfPqIndex, LutPrecision, SearchParams};
+use anna_serve::{compose, execute, Admission, Outcome, Request, ServeConfig};
+use anna_telemetry::Telemetry;
+use anna_testkit::{forall, TestRng};
+use anna_vector::{Metric, VectorSet};
+
+/// Blobby data so the coarse quantizer produces unevenly sized clusters.
+fn clustered(dim: usize, n: usize, salt: usize) -> VectorSet {
+    VectorSet::from_fn(dim, n, |r, c| {
+        let blob = ((r + salt) % 9) as f32;
+        blob * 25.0 + ((r * 31 + c * 7 + salt * 13) % 11) as f32 * 0.3
+    })
+}
+
+fn build(metric: Metric, salt: usize) -> (VectorSet, IvfPqIndex) {
+    let data = clustered(8, 600, salt);
+    let cfg = IvfPqConfig {
+        metric,
+        num_clusters: 12,
+        m: 4,
+        kstar: 16,
+        coarse_iters: 3,
+        pq_iters: 2,
+        ..IvfPqConfig::default()
+    };
+    let index = IvfPqIndex::build(&data, &cfg);
+    (data, index)
+}
+
+/// A sorted open-loop trace with heterogeneous k / nprobe / deadlines.
+fn arb_trace(rng: &mut TestRng, n: usize, pool: usize) -> Vec<Request> {
+    let mut t = 0u64;
+    (0..n)
+        .map(|i| {
+            t += rng.u64(0..400_000);
+            Request {
+                id: i as u64,
+                query_row: rng.usize(0..pool),
+                k: *rng.pick(&[3usize, 5, 8]),
+                nprobe: rng.usize(1..6),
+                arrival_ns: t,
+                deadline_ns: *rng.pick(&[u64::MAX, 50_000_000_000]),
+            }
+        })
+        .collect()
+}
+
+fn serve_cfg(rng: &mut TestRng) -> ServeConfig {
+    ServeConfig {
+        max_batch: rng.usize(2..17),
+        max_wait_ns: rng.u64(100_000..2_000_000),
+        queue_capacity: rng.usize(8..64),
+        service_bytes_per_sec: rng.u64(1_000_000..4_000_000_000),
+        shape_candidates: rng.usize(1..4),
+    }
+}
+
+/// The tentpole determinism property: composing the same seeded trace
+/// twice yields `==` schedules — identical batch compositions, plans,
+/// priced quotes, and admission decisions.
+#[test]
+fn composition_is_replay_identical() {
+    forall("serve composition replay", 8, |rng| {
+        let salt = rng.usize(0..1000);
+        let (data, index) = build(*rng.pick(&[Metric::L2, Metric::InnerProduct]), salt);
+        let n = rng.usize(10..60);
+        let trace = arb_trace(rng, n, data.len());
+        let cfg = serve_cfg(rng);
+        let a = compose(&index, &data, &trace, &cfg);
+        let b = compose(&index, &data, &trace, &cfg);
+        assert_eq!(a, b, "same trace composed different schedules");
+        assert_eq!(
+            a.dispatched()
+                + a.admissions
+                    .iter()
+                    .filter(|d| !matches!(d, Admission::Dispatched { .. }))
+                    .count(),
+            trace.len(),
+            "requests leaked"
+        );
+    });
+}
+
+/// Executing the schedule measures exactly the traffic the batcher priced,
+/// for every batch, and the answered results match the query-at-a-time
+/// reference truncated to each request's own `k` — across thread counts.
+#[test]
+fn executed_batches_match_prediction_and_reference() {
+    forall("serve predicted == measured", 4, |rng| {
+        let salt = rng.usize(0..1000);
+        let metric = *rng.pick(&[Metric::L2, Metric::InnerProduct]);
+        let (data, index) = build(metric, salt);
+        let n = rng.usize(12..40);
+        let trace = arb_trace(rng, n, data.len());
+        let cfg = serve_cfg(rng);
+        let schedule = compose(&index, &data, &trace, &cfg);
+        let tel = Telemetry::disabled();
+        let report = execute(&index, &data, &trace, &schedule, 1, LutPrecision::F32, &tel);
+
+        assert!(
+            report.all_traffic_match,
+            "a batch diverged from its priced plan"
+        );
+        for b in &report.batches {
+            assert!(b.traffic_match, "batch {} traffic mismatch", b.seq);
+        }
+        assert_eq!(
+            report.completed + report.shed + report.timed_out,
+            trace.len(),
+            "outcomes must partition the trace"
+        );
+
+        for (i, r) in trace.iter().enumerate() {
+            match report.outcomes[i] {
+                Outcome::Completed { .. } => {
+                    let got = report.results[i].as_ref().expect("completed => results");
+                    let want = index.search(
+                        data.row(r.query_row),
+                        &SearchParams {
+                            nprobe: r.nprobe,
+                            k: r.k,
+                            lut_precision: LutPrecision::F32,
+                        },
+                    );
+                    assert_eq!(got, &want, "request {i} diverged from reference");
+                }
+                _ => assert!(report.results[i].is_none()),
+            }
+        }
+
+        // Parallel execution answers bit-identically.
+        let report4 = execute(&index, &data, &trace, &schedule, 4, LutPrecision::F32, &tel);
+        assert_eq!(report4.results, report.results, "4 threads diverged");
+        assert!(report4.all_traffic_match);
+    });
+}
+
+/// A queue at capacity sheds arrivals explicitly instead of growing
+/// without bound: with a tiny queue and a burst far larger than it, some
+/// requests must be shed, and each shed decision records the depth.
+#[test]
+fn overload_sheds_at_admission() {
+    let (data, index) = build(Metric::L2, 7);
+    // 40 simultaneous arrivals into a queue of 4 that cannot drain (the
+    // window stays open for 1 ms of virtual time after the burst).
+    let trace: Vec<Request> = (0..40)
+        .map(|i| Request {
+            id: i,
+            query_row: (i as usize * 13) % data.len(),
+            k: 5,
+            nprobe: 3,
+            arrival_ns: 1_000,
+            deadline_ns: u64::MAX,
+        })
+        .collect();
+    let cfg = ServeConfig {
+        max_batch: 64,
+        max_wait_ns: 1_000_000,
+        queue_capacity: 4,
+        ..ServeConfig::default()
+    };
+    let schedule = compose(&index, &data, &trace, &cfg);
+    let shed: Vec<_> = schedule
+        .admissions
+        .iter()
+        .filter_map(|d| match d {
+            Admission::Shed { queue_depth } => Some(*queue_depth),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(shed.len(), 36, "queue of 4 must shed the other 36");
+    assert!(shed.iter().all(|&d| d >= 4), "shed depth below capacity");
+    assert_eq!(schedule.dispatched(), 4);
+}
+
+/// Requests whose predicted completion cannot make the deadline are
+/// dropped with an explicit timeout outcome rather than dispatched dead.
+#[test]
+fn hopeless_requests_time_out_explicitly() {
+    let (data, index) = build(Metric::L2, 3);
+    let trace: Vec<Request> = (0..8)
+        .map(|i| Request {
+            id: i,
+            query_row: (i as usize * 29) % data.len(),
+            k: 5,
+            nprobe: 3,
+            arrival_ns: 1_000 * i,
+            // 1 µs budget against a ~milliseconds predicted service time.
+            deadline_ns: 1_000,
+        })
+        .collect();
+    let cfg = ServeConfig {
+        max_batch: 8,
+        max_wait_ns: 100_000,
+        // Absurdly slow predicted server: everything must time out.
+        service_bytes_per_sec: 1,
+        ..ServeConfig::default()
+    };
+    let schedule = compose(&index, &data, &trace, &cfg);
+    assert_eq!(schedule.dispatched(), 0, "no dead request may dispatch");
+    assert!(schedule
+        .admissions
+        .iter()
+        .all(|d| matches!(d, Admission::TimedOut { .. })));
+
+    let tel = Telemetry::enabled();
+    let report = execute(&index, &data, &trace, &schedule, 1, LutPrecision::F32, &tel);
+    assert_eq!(report.timed_out, 8);
+    assert_eq!(report.completed, 0);
+    assert_eq!(report.latency.count, 0);
+    let snap = tel.snapshot_json().unwrap();
+    assert!(snap.contains("\"serve.timed_out\":8"), "{snap}");
+}
+
+/// The size threshold closes a window early: a burst of `max_batch`
+/// requests dispatches at the burst's arrival time, not a full max-wait
+/// later.
+#[test]
+fn size_threshold_closes_before_max_wait() {
+    let (data, index) = build(Metric::L2, 11);
+    let trace: Vec<Request> = (0..6)
+        .map(|i| Request {
+            id: i,
+            query_row: i as usize * 17 % data.len(),
+            k: 4,
+            nprobe: 2,
+            arrival_ns: 10_000 + i,
+            deadline_ns: u64::MAX,
+        })
+        .collect();
+    let cfg = ServeConfig {
+        max_batch: 6,
+        max_wait_ns: 60_000_000, // 60 ms: must not wait this long
+        queue_capacity: 64,
+        service_bytes_per_sec: 4_000_000_000,
+        shape_candidates: 1,
+    };
+    let schedule = compose(&index, &data, &trace, &cfg);
+    assert_eq!(schedule.batches.len(), 1);
+    let b = &schedule.batches[0];
+    assert_eq!(b.requests.len(), 6);
+    assert_eq!(
+        b.dispatch_ns,
+        trace.last().unwrap().arrival_ns,
+        "size threshold must close at the filling arrival"
+    );
+}
+
+/// An under-full window closes at `open + max_wait`, bounding the queue
+/// wait of a lone request.
+#[test]
+fn max_wait_bounds_a_lone_request() {
+    let (data, index) = build(Metric::L2, 5);
+    let trace = vec![Request {
+        id: 0,
+        query_row: 42,
+        k: 5,
+        nprobe: 3,
+        arrival_ns: 7_000,
+        deadline_ns: u64::MAX,
+    }];
+    let cfg = ServeConfig {
+        max_wait_ns: 250_000,
+        ..ServeConfig::default()
+    };
+    let schedule = compose(&index, &data, &trace, &cfg);
+    assert_eq!(schedule.batches.len(), 1);
+    assert_eq!(schedule.batches[0].dispatch_ns, 7_000 + 250_000);
+}

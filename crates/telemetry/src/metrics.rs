@@ -6,7 +6,7 @@
 //! and nothing downstream orders on them — snapshots are taken after the
 //! workers join.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// A monotonically increasing counter.
 #[derive(Debug, Default)]
@@ -69,6 +69,7 @@ pub struct Histogram {
     bins: Vec<AtomicU64>,
     count: AtomicU64,
     sum: AtomicU64,
+    saturated: AtomicBool,
     min: AtomicU64,
     max: AtomicU64,
 }
@@ -86,6 +87,7 @@ impl Histogram {
             bins: (0..HISTOGRAM_BINS).map(|_| AtomicU64::new(0)).collect(),
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
+            saturated: AtomicBool::new(false),
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
         }
@@ -117,11 +119,25 @@ impl Histogram {
     }
 
     /// Records one value.
+    ///
+    /// The running `sum` accumulates *saturating*, not wrapping: a
+    /// long-running server records enough nanoseconds to overflow a `u64`
+    /// eventually, and a wrapped sum silently corrupts [`Histogram::mean`].
+    /// Once an add clamps at `u64::MAX`, [`Histogram::saturated`] reports
+    /// `true` so downstream consumers know the mean is a lower bound.
     #[inline]
     pub fn record(&self, v: u64) {
         self.bins[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(v, Ordering::Relaxed);
+        let prev = self
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(s.saturating_add(v))
+            })
+            .expect("fetch_update closure always returns Some");
+        if prev.checked_add(v).is_none() {
+            self.saturated.store(true, Ordering::Relaxed);
+        }
         self.min.fetch_min(v, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
     }
@@ -131,9 +147,17 @@ impl Histogram {
         self.count.load(Ordering::Relaxed)
     }
 
-    /// Sum of recorded values (wrapping on overflow).
+    /// Sum of recorded values (saturating at `u64::MAX`; see
+    /// [`Histogram::saturated`]).
     pub fn sum(&self) -> u64 {
         self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Whether the running sum ever clamped at `u64::MAX` — when `true`,
+    /// [`Histogram::sum`] and [`Histogram::mean`] are lower bounds, not
+    /// exact values.
+    pub fn saturated(&self) -> bool {
+        self.saturated.load(Ordering::Relaxed)
     }
 
     /// Mean of recorded values, 0.0 when empty.
@@ -161,9 +185,30 @@ impl Histogram {
         self.max.load(Ordering::Relaxed)
     }
 
-    /// The quantile `q` in `[0, 1]`, reported as the lower bound of the
-    /// bucket holding the target rank (so within the layout's 12.5%
-    /// quantization of the true order statistic). Returns 0 when empty.
+    /// The largest value mapping to bucket `idx` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= HISTOGRAM_BINS`.
+    pub fn bucket_upper_bound(idx: usize) -> u64 {
+        assert!(idx < HISTOGRAM_BINS);
+        if idx + 1 == HISTOGRAM_BINS {
+            u64::MAX
+        } else {
+            Self::bucket_lower_bound(idx + 1) - 1
+        }
+    }
+
+    /// The quantile `q` in `[0, 1]`, reported as the inclusive *upper*
+    /// bound of the bucket holding the target rank, clamped to the exact
+    /// recorded maximum. Returns 0 when empty.
+    ///
+    /// Reporting the upper bound is deliberate: the true order statistic
+    /// lies somewhere inside the bucket, so the upper bound never
+    /// *under*-reports it (by at most the layout's 12.5% bucket width
+    /// over it). For tail latencies — p95/p99 on a serving path — a
+    /// conservative overestimate is the safe direction; the previous
+    /// lower-bound convention systematically understated the tail.
     pub fn quantile(&self, q: f64) -> u64 {
         let count = self.count();
         if count == 0 {
@@ -174,7 +219,7 @@ impl Histogram {
         for (i, bin) in self.bins.iter().enumerate() {
             cum += bin.load(Ordering::Relaxed);
             if cum >= target {
-                return Self::bucket_lower_bound(i);
+                return Self::bucket_upper_bound(i).min(self.max());
             }
         }
         self.max()
@@ -265,11 +310,110 @@ mod tests {
         let p50 = h.quantile(0.5);
         let p99 = h.quantile(0.99);
         // Within the 12.5% bucket quantization of the true order statistic.
-        assert!((440..=500).contains(&p50), "p50 = {p50}");
-        assert!((870..=990).contains(&p99), "p99 = {p99}");
+        assert!((500..=560).contains(&p50), "p50 = {p50}");
+        assert!((990..=1000).contains(&p99), "p99 = {p99}");
         assert!(h.quantile(0.0) >= h.min());
-        assert_eq!(h.quantile(1.0), 960); // lower bound of max's bucket
+        assert_eq!(h.quantile(1.0), 1000); // upper bound clamps to exact max
         assert!((h.mean() - 500.5).abs() < 1e-9);
+        assert!(!h.saturated());
+    }
+
+    #[test]
+    fn quantile_never_underreports_the_order_statistic() {
+        // Regression for the lower-bound convention, which understated
+        // tail latency by up to one bucket width (12.5%): with exact
+        // values 1..=n recorded, the rank-r order statistic is r itself,
+        // so every reported quantile must be >= its true order statistic
+        // (conservative direction) and within 12.5% above it.
+        let h = Histogram::new();
+        let n = 10_000u64;
+        for v in 1..=n {
+            h.record(v);
+        }
+        for q in [0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999] {
+            let true_stat = ((q * n as f64).ceil() as u64).max(1);
+            let got = h.quantile(q);
+            assert!(
+                got >= true_stat,
+                "q={q}: reported {got} underreports true order statistic {true_stat}"
+            );
+            assert!(
+                got as f64 <= true_stat as f64 * 1.125 + 1.0,
+                "q={q}: reported {got} beyond bucket quantization of {true_stat}"
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_upper_bounds_tile_the_domain() {
+        for idx in 0..HISTOGRAM_BINS {
+            let hi = Histogram::bucket_upper_bound(idx);
+            assert_eq!(Histogram::bucket_index(hi), idx, "upper bound of {idx}");
+            if idx + 1 < HISTOGRAM_BINS {
+                assert_eq!(hi + 1, Histogram::bucket_lower_bound(idx + 1));
+            } else {
+                assert_eq!(hi, u64::MAX);
+            }
+        }
+    }
+
+    #[test]
+    fn sum_saturates_instead_of_wrapping() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        assert!(!h.saturated(), "a single max record fits exactly");
+        assert_eq!(h.sum(), u64::MAX);
+        h.record(100);
+        // Wrapping would have produced 99 and a mean near zero; the
+        // saturating sum stays pinned and flags itself.
+        assert_eq!(h.sum(), u64::MAX);
+        assert!(h.saturated());
+        assert!(h.mean() >= (u64::MAX / 2) as f64);
+        // Zero-value records never trip the flag retroactively.
+        let h2 = Histogram::new();
+        h2.record(0);
+        h2.record(0);
+        assert_eq!(h2.sum(), 0);
+        assert!(!h2.saturated());
+    }
+
+    #[test]
+    fn edge_values_quantile_cleanly() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        assert!(!h.saturated());
+    }
+
+    #[test]
+    fn concurrent_records_lose_nothing() {
+        use std::sync::Arc;
+        let h = Arc::new(Histogram::new());
+        let threads = 8;
+        let per_thread = 2_000u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let h = Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        h.record(t * per_thread + i);
+                    }
+                });
+            }
+        });
+        let n = threads * per_thread;
+        assert_eq!(h.count(), n);
+        // Sum of 0..n-1 under concurrent saturating accumulation is exact.
+        assert_eq!(h.sum(), n * (n - 1) / 2);
+        assert!(!h.saturated());
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), n - 1);
+        assert!(h.quantile(1.0) == n - 1);
     }
 
     #[test]

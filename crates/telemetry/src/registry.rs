@@ -116,10 +116,11 @@ impl Registry {
             }
             let _ = write!(
                 out,
-                "{}:{{\"count\":{},\"sum\":{},\"mean\":{:.3},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                "{}:{{\"count\":{},\"sum\":{},\"saturated\":{},\"mean\":{:.3},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
                 json_string(name),
                 h.count(),
                 h.sum(),
+                h.saturated(),
                 h.mean(),
                 h.min(),
                 h.max(),
@@ -232,8 +233,19 @@ mod tests {
         let s = r.snapshot_json();
         assert!(s.contains("\"count\":3"), "{s}");
         assert!(s.contains("\"sum\":60"), "{s}");
+        assert!(s.contains("\"saturated\":false"), "{s}");
         assert!(s.contains("\"mean\":20.000"), "{s}");
         assert!(s.contains("\"p50\":"), "{s}");
+    }
+
+    #[test]
+    fn saturated_sum_is_flagged_in_the_snapshot() {
+        let r = Registry::new();
+        let h = r.histogram("long.running");
+        h.record(u64::MAX);
+        h.record(1);
+        let s = r.snapshot_json();
+        assert!(s.contains("\"saturated\":true"), "{s}");
     }
 
     #[test]
