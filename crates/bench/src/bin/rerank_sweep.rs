@@ -1,0 +1,66 @@
+//! Sweeps the two-phase (over-fetch + re-rank) pipeline and writes the
+//! bytes/recall frontier report.
+//!
+//! Runs a single-phase baseline plus {f16, f32, adaptive} × alpha
+//! ladders over the bimodal sweep dataset, executes every point's exact
+//! priced plan, and writes `reports/rerank_sweep.json` (recall@10,
+//! TrafficModel bytes per query, escalation counts, and per-target
+//! frontier picks). Exits non-zero if any point's measured traffic
+//! diverges from its prediction, if the adaptive ladder misses a recall
+//! target up to 0.95, or if a fixed-precision point reaches a target at
+//! fewer or equal bytes than the adaptive pick — CI treats all three as
+//! hard failures.
+//!
+//! With `--smoke`, a smaller query set runs in seconds and writes
+//! `rerank_sweep_smoke.json` — the CI per-commit check.
+
+use anna_bench::{rerank_sweep, write_report};
+
+fn main() {
+    let mut smoke = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: rerank_sweep [--smoke]");
+                std::process::exit(2);
+            }
+        }
+    }
+    // The dataset's cohort structure (see rerank_sweep::value) is sized
+    // for this row count; the full profile widens the query set, not the
+    // database.
+    let (db_n, nq_fine, nq_coarse, report): (usize, usize, usize, &str) = if smoke {
+        (4_000, 32, 32, "rerank_sweep_smoke")
+    } else {
+        (4_000, 64, 64, "rerank_sweep")
+    };
+    let targets = [0.90, 0.95, 0.97];
+    eprintln!(
+        "building index over {db_n} vectors, sweeping 13 re-rank points × {} queries",
+        nq_fine + nq_coarse
+    );
+    let sweep = rerank_sweep::run(db_n, nq_fine, nq_coarse, &targets);
+    print!("{}", sweep.render());
+    match write_report(report, &sweep.to_json()) {
+        Ok(path) => eprintln!("report written to {}", path.display()),
+        Err(e) => eprintln!("could not write report: {e}"),
+    }
+    // Gates checked last so the report is on disk for the post-mortem
+    // when one trips.
+    if !sweep.all_traffic_match() {
+        let bad: Vec<&str> = sweep
+            .points
+            .iter()
+            .filter(|p| !p.traffic_match)
+            .map(|p| p.label.as_str())
+            .collect();
+        eprintln!("predicted != measured traffic at points {bad:?}");
+        std::process::exit(1);
+    }
+    if !sweep.ok() {
+        eprintln!("frontier gate failed: a target was missed or adaptive was not strictly cheaper");
+        std::process::exit(1);
+    }
+}

@@ -17,6 +17,7 @@
 //! | [`kernels_sweep`] / `--bin kernels_sweep` | scan-kernel dispatch sweep (codes/sec, GB/s) |
 //! | [`threads_sweep`] / `--bin threads_sweep` | worker-count scaling of the batch engine |
 //! | [`serving_sweep`] / `--bin serving_sweep` | online serving: latency vs offered load ([`openloop`] arrivals through `anna-serve`) |
+//! | [`rerank_sweep`] / `--bin rerank_sweep` | two-phase re-rank: fixed-precision vs adaptive bytes/recall frontier |
 //! | `--bin runall` | everything above, writing `reports/*.json` |
 //!
 //! Binaries accept `--full` for the full-scale profile (see
@@ -36,6 +37,7 @@ pub mod json;
 pub mod kernels_sweep;
 pub mod openloop;
 pub mod related;
+pub mod rerank_sweep;
 pub mod scale;
 pub mod serving_sweep;
 pub mod table1;

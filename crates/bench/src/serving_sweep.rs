@@ -144,6 +144,7 @@ pub fn run(db_n: usize, requests: usize, load_fractions: &[f64]) -> ServingSweep
         queue_capacity: 256,
         service_bytes_per_sec,
         shape_candidates: 3,
+        rerank: None,
     };
     let deadline_ns = 200_000_000; // generous 200 ms SLO; overload still trips it
 
@@ -190,6 +191,7 @@ pub fn run(db_n: usize, requests: usize, load_fractions: &[f64]) -> ServingSweep
             &schedule,
             threads,
             LutPrecision::F32,
+            None,
             &tel,
         );
         let makespan_ns = schedule

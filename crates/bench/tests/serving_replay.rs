@@ -62,6 +62,7 @@ fn seeded_trace_replays_to_identical_batch_compositions() {
             queue_capacity: rng.usize(16..128),
             service_bytes_per_sec: rng.u64(10_000_000..8_000_000_000),
             shape_candidates: rng.usize(1..4),
+            rerank: None,
         };
 
         // Same seed → identical trace.

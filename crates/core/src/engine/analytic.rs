@@ -101,6 +101,8 @@ pub fn single_query(cfg: &AnnaConfig, w: &QueryWorkload, g: usize) -> TimingRepo
         topk_spill_bytes: 0,
         topk_fill_bytes: 0,
         query_list_bytes: 0,
+        rerank_candidate_bytes: 0,
+        rerank_vector_bytes: 0,
         result_bytes,
     };
 
@@ -192,6 +194,8 @@ pub fn single_query_unbuffered(cfg: &AnnaConfig, w: &QueryWorkload, g: usize) ->
         topk_spill_bytes: 0,
         topk_fill_bytes: 0,
         query_list_bytes: 0,
+        rerank_candidate_bytes: 0,
+        rerank_vector_bytes: 0,
         result_bytes,
     };
     let lut_demand = ip_lut + per_cluster_lut * nvisits as f64;

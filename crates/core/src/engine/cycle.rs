@@ -141,6 +141,8 @@ pub fn single_query(cfg: &AnnaConfig, w: &QueryWorkload, g: usize) -> TimingRepo
         topk_spill_bytes: 0,
         topk_fill_bytes: 0,
         query_list_bytes: 0,
+        rerank_candidate_bytes: 0,
+        rerank_vector_bytes: 0,
         result_bytes,
     };
     let compute_cycles = cpm_busy + scm_busy + merge;

@@ -19,6 +19,13 @@ pub struct GroundTruth {
 
 /// Computes exact top-`x` ground truth by exhaustive search.
 ///
+/// Ties are pinned by the shared score-then-id total order
+/// ([`anna_vector::sort_neighbors`]): under duplicated or equidistant
+/// vectors the lower id is always the true neighbor, the same rule every
+/// retrieval pipeline's truncation applies — so recall numbers are stable
+/// across kernel families and candidate orderings instead of depending on
+/// which of the tied ids happened to survive on each side.
+///
 /// # Panics
 ///
 /// Panics if dimensions mismatch or `x == 0`.
@@ -119,6 +126,30 @@ mod tests {
         let gt = ground_truth(&q, &db, Metric::L2, 2);
         assert_eq!(gt.ids[0], vec![10, 11]);
         assert_eq!(gt.ids[1], vec![41, 40]);
+    }
+
+    #[test]
+    fn duplicated_vectors_keep_recall_stable() {
+        // Rows i and i+10 are identical, so every score ties pairwise and
+        // ground truth is decided purely by the tie rule (lower id wins).
+        let db = VectorSet::from_fn(2, 20, |r, _| (r % 10) as f32);
+        let q = VectorSet::from_rows(2, &[3.1, 3.1]);
+        let gt = ground_truth(&q, &db, Metric::L2, 3);
+        assert_eq!(gt.ids[0], vec![3, 13, 4]);
+        // A retrieval pipeline applying the same rule scores recall 1.0;
+        // resolving even one tie the other way would drop it to 2/3.
+        let aligned = vec![vec![
+            Neighbor::new(3, 0.0),
+            Neighbor::new(13, 0.0),
+            Neighbor::new(4, -1.0),
+        ]];
+        assert_eq!(recall_x_at_y(&gt, &aligned, 3), 1.0);
+        let misaligned = vec![vec![
+            Neighbor::new(3, 0.0),
+            Neighbor::new(13, 0.0),
+            Neighbor::new(14, -1.0),
+        ]];
+        assert!((recall_x_at_y(&gt, &misaligned, 3) - 2.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]

@@ -46,6 +46,12 @@ pub struct BatchStats {
     /// Intermediate top-k records read back at the start of a query's
     /// later rounds.
     pub topk_fill_bytes: u64,
+    /// Re-rank candidate records moved (each first-pass survivor's record
+    /// spilled once and read back once). Zero for single-phase runs.
+    pub rerank_candidate_bytes: u64,
+    /// Re-rank vector fetches at each query's rescore precision. Zero for
+    /// single-phase runs.
+    pub rerank_vector_bytes: u64,
 }
 
 impl BatchStats {
@@ -66,6 +72,8 @@ impl BatchStats {
         self.conventional_code_bytes += other.conventional_code_bytes;
         self.topk_spill_bytes += other.topk_spill_bytes;
         self.topk_fill_bytes += other.topk_fill_bytes;
+        self.rerank_candidate_bytes += other.rerank_candidate_bytes;
+        self.rerank_vector_bytes += other.rerank_vector_bytes;
     }
 }
 
@@ -91,12 +99,31 @@ impl BatchStats {
 #[derive(Debug)]
 pub struct BatchedScan<'a> {
     index: &'a IvfPqIndex,
+    rerank_db: Option<&'a VectorSet>,
 }
 
 impl<'a> BatchedScan<'a> {
     /// Creates a scanner over `index`.
     pub fn new(index: &'a IvfPqIndex) -> Self {
-        Self { index }
+        Self {
+            index,
+            rerank_db: None,
+        }
+    }
+
+    /// Creates a scanner that can execute two-phase plans: `db` holds the
+    /// original vectors (row id == database id) the re-rank stage
+    /// rescores candidates against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `db.dim() != index.dim()`.
+    pub fn with_rerank_db(index: &'a IvfPqIndex, db: &'a VectorSet) -> Self {
+        assert_eq!(db.dim(), index.dim(), "re-rank source dimension mismatch");
+        Self {
+            index,
+            rerank_db: Some(db),
+        }
     }
 
     /// Resolves each query's cluster list and inverts it: entry `c` of the
@@ -297,6 +324,65 @@ impl<'a> BatchedScan<'a> {
         self.execute_plan(queries, params, plan, threads, tel)
     }
 
+    /// Builds the two-phase (over-fetch + re-rank) plan for this batch:
+    /// the first pass's parameters (same knobs as `params` but a heap of
+    /// `policy.k_first(params.k)` candidates) and the default cost-shaped
+    /// plan with the [`anna_plan::RerankStage`] attached. `params.k` is
+    /// the *final* k.
+    ///
+    /// Feed both to [`BatchedScan::run_plan`] (or price the plan with
+    /// [`anna_plan::TrafficModel`] first — predicted bytes equal the
+    /// measured [`BatchStats`] exactly, re-rank components included).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries.dim() != index.dim()` or `params.k == 0`.
+    pub fn two_phase_plan(
+        &self,
+        queries: &VectorSet,
+        params: &SearchParams,
+        policy: &anna_plan::RerankPolicy,
+    ) -> (SearchParams, BatchPlan) {
+        assert!(params.k > 0, "k must be positive");
+        let first = SearchParams {
+            nprobe: params.nprobe,
+            k: policy.k_first(params.k),
+            lut_precision: params.lut_precision,
+        };
+        let workload = self.workload(queries, &first);
+        let record = PlanParams::default().topk_record_bytes as u64;
+        let plan = self
+            .default_plan(queries, &first)
+            .with_rerank(policy.stage(&workload, params.k, record));
+        (first, plan)
+    }
+
+    /// Runs the two-phase pipeline: the cheap encoded-code first pass
+    /// over-fetches `policy.k_first(params.k)` candidates per query, then
+    /// the re-rank stage rescores each query's survivors at the policy's
+    /// precision against the scanner's re-rank source and emits the final
+    /// `params.k`, best first.
+    ///
+    /// Requires a scanner built with [`BatchedScan::with_rerank_db`].
+    /// Results are bit-identical for any `threads` (see
+    /// [`crate::parallel`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scanner has no re-rank source, dimensions mismatch,
+    /// or `params.k == 0`.
+    pub fn run_two_phase(
+        &self,
+        queries: &VectorSet,
+        params: &SearchParams,
+        policy: &anna_plan::RerankPolicy,
+        exec: &BatchExec,
+        tel: &Telemetry,
+    ) -> (Vec<Vec<Neighbor>>, BatchStats) {
+        let (first, plan) = self.two_phase_plan(queries, params, policy);
+        self.run_plan(queries, &first, &plan, exec.resolved_threads(), tel)
+    }
+
     fn execute_plan(
         &self,
         queries: &VectorSet,
@@ -322,7 +408,7 @@ impl<'a> BatchedScan<'a> {
             }
         };
 
-        let (merged, stats) = parallel::execute_rounds(
+        let (merged, mut stats) = parallel::execute_rounds(
             self.index,
             queries,
             params,
@@ -331,6 +417,33 @@ impl<'a> BatchedScan<'a> {
             threads,
             tel,
         );
+
+        // Second phase: rescore each query's first-pass survivors at the
+        // stage's precision and keep the final k. The work items join the
+        // same self-scheduling queue discipline as the scan rounds, so
+        // serial == parallel stays bit-identical.
+        let results = match &plan.rerank {
+            Some(stage) => {
+                let db = self.rerank_db.expect(
+                    "plan carries a re-rank stage but the scanner has no re-rank source; \
+                     build it with BatchedScan::with_rerank_db",
+                );
+                let _span = tel.span("batch.rerank");
+                let (results, candidate_bytes, vector_bytes) = parallel::execute_rerank(
+                    db,
+                    queries,
+                    self.index.metric(),
+                    stage,
+                    merged,
+                    threads,
+                );
+                stats.rerank_candidate_bytes = candidate_bytes;
+                stats.rerank_vector_bytes = vector_bytes;
+                results
+            }
+            None => merged.into_iter().map(TopK::into_sorted_vec).collect(),
+        };
+
         tel.counter_add("plan.queries", queries.len() as u64);
         tel.counter_add("plan.clusters_fetched", stats.clusters_fetched);
         tel.counter_add("plan.code_bytes", stats.code_bytes);
@@ -341,10 +454,9 @@ impl<'a> BatchedScan<'a> {
         );
         tel.counter_add("plan.topk_spill_bytes", stats.topk_spill_bytes);
         tel.counter_add("plan.topk_fill_bytes", stats.topk_fill_bytes);
-        (
-            merged.into_iter().map(TopK::into_sorted_vec).collect(),
-            stats,
-        )
+        tel.counter_add("plan.rerank_candidate_bytes", stats.rerank_candidate_bytes);
+        tel.counter_add("plan.rerank_vector_bytes", stats.rerank_vector_bytes);
+        (results, stats)
     }
 }
 
@@ -537,6 +649,8 @@ mod tests {
             conventional_code_bytes: 30,
             topk_spill_bytes: 5,
             topk_fill_bytes: 5,
+            rerank_candidate_bytes: 2,
+            rerank_vector_bytes: 100,
         };
         let b = BatchStats {
             clusters_fetched: 2,
@@ -545,6 +659,8 @@ mod tests {
             conventional_code_bytes: 80,
             topk_spill_bytes: 10,
             topk_fill_bytes: 15,
+            rerank_candidate_bytes: 3,
+            rerank_vector_bytes: 200,
         };
         a.accumulate(&b);
         assert_eq!(
@@ -556,6 +672,8 @@ mod tests {
                 conventional_code_bytes: 110,
                 topk_spill_bytes: 15,
                 topk_fill_bytes: 20,
+                rerank_candidate_bytes: 5,
+                rerank_vector_bytes: 300,
             }
         );
     }

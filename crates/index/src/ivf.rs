@@ -408,6 +408,59 @@ impl IvfPqIndex {
         self.search_with_stats(q, params).0
     }
 
+    /// Two-phase single-query search: over-fetch `policy.k_first(params.k)`
+    /// candidates with the quantized scan, then rescore the survivors
+    /// against `db` (the original vectors, row id == database id) at the
+    /// policy's precision and keep the final `params.k` — the query-major
+    /// oracle the batched two-phase path must match bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q.len() != self.dim()`, `db.dim() != self.dim()`, or
+    /// `params.k == 0`.
+    pub fn search_two_phase(
+        &self,
+        q: &[f32],
+        params: &SearchParams,
+        policy: &anna_plan::RerankPolicy,
+        db: &VectorSet,
+    ) -> Vec<Neighbor> {
+        assert_eq!(db.dim(), self.dim, "re-rank source dimension mismatch");
+        assert!(params.k > 0, "k must be positive");
+        let k_first = policy.k_first(params.k);
+        let first = SearchParams {
+            nprobe: params.nprobe,
+            k: k_first,
+            lut_precision: params.lut_precision,
+        };
+        let survivors = self.search(q, &first);
+        // The same plan-time controller decision the batched path's
+        // RerankStage carries: pool = total codes in the visited clusters.
+        let pool: usize = self
+            .filter_clusters(q, params.nprobe)
+            .into_iter()
+            .map(|c| self.clusters[c].len())
+            .sum();
+        let decision = policy.query_decision(k_first, pool);
+        let ids: Vec<u64> = survivors.iter().map(|n| n.id).collect();
+        let mut scratch = anna_vector::exact::RescoreScratch::new();
+        let mut out = Vec::new();
+        if ids.is_empty() {
+            return out;
+        }
+        anna_vector::exact::rescore_subset_into(
+            q,
+            &ids,
+            db,
+            self.metric,
+            params.k,
+            decision.precision == anna_plan::RerankPrecision::F16,
+            &mut scratch,
+            &mut out,
+        );
+        out
+    }
+
     /// Like [`IvfPqIndex::search`], additionally returning per-search work
     /// counters — the instrumentation a capacity planner needs (and the
     /// quantities the accelerator's timing model consumes).

@@ -56,6 +56,7 @@ pub mod ivf;
 pub mod kernels;
 pub mod lut;
 pub mod parallel;
+pub mod rerank;
 
 pub use batched::{BatchStats, BatchedScan};
 pub use io::{read_index, write_index};
@@ -63,10 +64,14 @@ pub use ivf::{IndexStats, IvfPqConfig, IvfPqIndex, SearchStats, Trainer};
 pub use kernels::{KernelDispatch, ScanScratch, ScanTally};
 pub use lut::{Lut, LutPrecision};
 pub use parallel::BatchExec;
+pub use rerank::{RerankController, RungMeasurement};
 
 // The crossbar tiling moved into the shared plan layer (`anna-plan`);
 // re-exported here so software-side callers keep one import path.
 pub use anna_plan::{crossbar_tiles, ClusterTile};
+// The two-phase policy types live in the plan layer (the stage is part of
+// the plan IR); re-exported for the same single-import ergonomics.
+pub use anna_plan::{RerankMode, RerankPolicy, RerankPrecision, RerankQuery, RerankStage};
 
 use serde::{Deserialize, Serialize};
 

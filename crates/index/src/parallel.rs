@@ -57,9 +57,10 @@ use crate::ivf::IvfPqIndex;
 use crate::kernels;
 use crate::lut::{Lut, LutPrecision};
 use crate::SearchParams;
-use anna_plan::{BatchPlan, Round};
+use anna_plan::{BatchPlan, RerankPrecision, RerankStage, Round};
 use anna_telemetry::Telemetry;
-use anna_vector::{metric, TopK, VectorSet};
+use anna_vector::exact::{rescore_subset_into, RescoreScratch};
+use anna_vector::{metric, Metric, Neighbor, TopK, VectorSet};
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Barrier, Mutex};
@@ -678,6 +679,122 @@ pub(crate) fn execute_rounds(
         stats.topk_spill_bytes += boundary_crossings * plan.spill_unit_bytes;
     }
     (merged, stats)
+}
+
+/// Runs a plan's [`RerankStage`] over the first pass's merged heaps:
+/// every query's survivors are rescored against `db` at the stage's
+/// per-query precision and truncated to the final `stage.k`.
+///
+/// Work items (one per query) join the same self-scheduling queue
+/// discipline as the build/scan rounds — a shared atomic cursor that
+/// workers drain, with per-worker [`RescoreScratch`] so the hot loop is
+/// allocation-free. The output is bit-identical for any worker count
+/// because each query is rescored by exactly one worker with the single
+/// [`rescore_subset_into`] arithmetic, candidate lists come from the
+/// deterministic merged heaps, and results are written back by query
+/// index.
+///
+/// Returns `(results, rerank_candidate_bytes, rerank_vector_bytes)` — the
+/// measured byte counts that must equal the
+/// [`anna_plan::TrafficModel`]'s prediction exactly: every candidate
+/// record is spilled once and filled once (`2 · Σ c_q · record`), and
+/// each candidate vector is fetched at the query's precision.
+///
+/// # Panics
+///
+/// Panics if the stage's per-query candidate counts disagree with the
+/// first pass's survivor counts (the planner and the engine must see the
+/// same `min(k_first, pool)`), or if the stage's query count differs
+/// from the batch size.
+pub(crate) fn execute_rerank(
+    db: &VectorSet,
+    queries: &VectorSet,
+    metric: Metric,
+    stage: &RerankStage,
+    merged: Vec<TopK>,
+    threads: usize,
+) -> (Vec<Vec<Neighbor>>, u64, u64) {
+    let nq = queries.len();
+    stage.assert_valid(nq);
+
+    // Materialize each heap as its pinned best-first candidate list. The
+    // list *is* the candidate-id spill the traffic model prices.
+    let candidates: Vec<Vec<Neighbor>> = merged.into_iter().map(TopK::into_sorted_vec).collect();
+    let mut candidate_records = 0u64;
+    let mut vector_bytes = 0u64;
+    for (qi, list) in candidates.iter().enumerate() {
+        let decision = &stage.queries[qi];
+        assert_eq!(
+            list.len(),
+            decision.candidates,
+            "query {qi}: planned candidate count diverged from the first pass's survivors"
+        );
+        candidate_records += list.len() as u64;
+        vector_bytes +=
+            list.len() as u64 * db.dim() as u64 * decision.precision.bytes_per_element();
+    }
+    let candidate_bytes = 2 * candidate_records * stage.record_bytes;
+
+    let mut results: Vec<Vec<Neighbor>> = vec![Vec::new(); nq];
+    let rescore =
+        |qi: usize, ids: &mut Vec<u64>, scratch: &mut RescoreScratch, out: &mut Vec<Neighbor>| {
+            ids.clear();
+            ids.extend(candidates[qi].iter().map(|n| n.id));
+            if ids.is_empty() {
+                out.clear();
+                return;
+            }
+            let f16_vectors = stage.queries[qi].precision == RerankPrecision::F16;
+            rescore_subset_into(
+                queries.row(qi),
+                ids,
+                db,
+                metric,
+                stage.k,
+                f16_vectors,
+                scratch,
+                out,
+            );
+        };
+
+    let workers = threads.max(1).min(nq.max(1));
+    if workers <= 1 {
+        let mut scratch = RescoreScratch::new();
+        let mut ids = Vec::new();
+        for (qi, out) in results.iter_mut().enumerate() {
+            rescore(qi, &mut ids, &mut scratch, out);
+        }
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let done: Mutex<Vec<(usize, Vec<Neighbor>)>> = Mutex::new(Vec::with_capacity(nq));
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                let (cursor, done, rescore) = (&cursor, &done, &rescore);
+                s.spawn(move || {
+                    let mut scratch = RescoreScratch::new();
+                    let mut ids = Vec::new();
+                    let mut local: Vec<(usize, Vec<Neighbor>)> = Vec::new();
+                    loop {
+                        let qi = cursor.fetch_add(1, Ordering::Relaxed);
+                        if qi >= nq {
+                            break;
+                        }
+                        let mut out = Vec::new();
+                        rescore(qi, &mut ids, &mut scratch, &mut out);
+                        local.push((qi, out));
+                    }
+                    done.lock()
+                        .expect("rerank worker poisoned results")
+                        .extend(local);
+                });
+            }
+        });
+        for (qi, out) in done.into_inner().expect("rerank worker poisoned results") {
+            results[qi] = out;
+        }
+    }
+
+    (results, candidate_bytes, vector_bytes)
 }
 
 #[cfg(test)]

@@ -21,9 +21,14 @@
 //! * [`plan`] — resolves the [`ScmAllocation`] policy to a concrete `g`,
 //!   turns the tiles into [`Round`]s, and packages the result as a
 //!   [`BatchPlan`] with the spill/fill record size precomputed.
+//! * [`RerankStage`] / [`RerankPolicy`] — the optional second phase of a
+//!   two-phase plan: per-query candidate counts and rescore precisions
+//!   for the over-fetch + re-rank pipeline, carried on the plan so its
+//!   traffic (candidate records, vector fetches, rescore results) is
+//!   priced exactly like every first-pass component.
 //! * [`TrafficModel`] — prices any [`BatchPlan`] in bytes (codes fetched,
-//!   metadata, query lists, top-k spill/fill, results) *before*
-//!   execution. The workspace's headline invariant is that this predicted
+//!   metadata, query lists, top-k spill/fill, re-rank candidates/vectors,
+//!   results) *before* execution. The workspace's headline invariant is that this predicted
 //!   [`TrafficReport`] equals both the software engine's measured
 //!   `BatchStats` bytes and the simulators' `TimingReport` traffic,
 //!   exactly.
@@ -35,12 +40,14 @@
 #![deny(missing_docs)]
 
 mod plan;
+mod rerank;
 mod shape;
 mod tiles;
 mod traffic;
 mod workload;
 
 pub use plan::{plan, BatchPlan, PlanParams, Round, ScmAllocation};
+pub use rerank::{RerankMode, RerankPolicy, RerankPrecision, RerankQuery, RerankStage};
 pub use shape::TileShaper;
 pub use tiles::{crossbar_tiles, ClusterTile};
 pub use traffic::{TrafficModel, TrafficReport, CLUSTER_META_BYTES, QUERY_ID_BYTES};

@@ -131,6 +131,11 @@ pub struct BatchPlan {
     pub spill_unit_bytes: u64,
     /// The rounds, in execution order (cluster-major).
     pub rounds: Vec<Round>,
+    /// Optional second phase: re-rank the first pass's survivors at higher
+    /// precision (see [`crate::RerankStage`]). `None` plans are single
+    /// phase; when present, `shape.k` is the *first-pass* heap size and
+    /// the stage carries the final `k`.
+    pub rerank: Option<crate::RerankStage>,
 }
 
 impl BatchPlan {
@@ -211,7 +216,14 @@ impl BatchPlan {
             queries_per_round,
             spill_unit_bytes,
             rounds: rounds_from_tiles(crossbar_tiles(visiting, queries_per_round), cluster_sizes),
+            rerank: None,
         }
+    }
+
+    /// Attaches a re-rank stage, turning this into a two-phase plan.
+    pub fn with_rerank(mut self, stage: crate::RerankStage) -> BatchPlan {
+        self.rerank = Some(stage);
+        self
     }
 
     /// Like [`BatchPlan::from_visitors`], but with rounds cut by a
@@ -240,6 +252,7 @@ impl BatchPlan {
                 shaper.shape(visiting, cluster_sizes, bytes_per_vector, spill_unit_bytes),
                 cluster_sizes,
             ),
+            rerank: None,
         }
     }
 }
@@ -284,6 +297,7 @@ pub fn plan(params: &PlanParams, workload: &BatchWorkload, alloc: ScmAllocation)
             crossbar_tiles(&visitors, queries_per_round),
             &workload.cluster_sizes,
         ),
+        rerank: None,
     }
 }
 

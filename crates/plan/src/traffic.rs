@@ -38,6 +38,14 @@ pub struct TrafficReport {
     /// Query-id list writes/reads for the traffic optimization
     /// (Section IV-A).
     pub query_list_bytes: u64,
+    /// Re-rank candidate records: each first-pass survivor's `(id, score)`
+    /// record is spilled once and read back once by the re-ranker
+    /// (`2 · Σ c_q · record`). Zero for single-phase plans.
+    pub rerank_candidate_bytes: u64,
+    /// Re-rank vector fetches: each candidate's vector at the query's
+    /// re-rank precision (`Σ c_q · D · bytes_per_element`). Zero for
+    /// single-phase plans.
+    pub rerank_vector_bytes: u64,
     /// Final result stores.
     pub result_bytes: u64,
 }
@@ -51,6 +59,8 @@ impl TrafficReport {
             + self.topk_spill_bytes
             + self.topk_fill_bytes
             + self.query_list_bytes
+            + self.rerank_candidate_bytes
+            + self.rerank_vector_bytes
             + self.result_bytes
     }
 }
@@ -85,7 +95,18 @@ impl TrafficModel {
     ///   points times [`BatchPlan::spill_unit_bytes`].
     /// * `query_list_bytes` — the per-cluster query-id lists are written
     ///   once and read once, `2 · Σ|W_q| · 3`.
-    /// * `result_bytes` — `B·k` final records.
+    /// * `rerank_candidate_bytes` / `rerank_vector_bytes` — two-phase
+    ///   plans only: survivor records spilled + filled and candidate
+    ///   vectors fetched at per-query precision (see
+    ///   [`crate::RerankStage`]).
+    /// * `result_bytes` — `B·k` final records; for a two-phase plan the
+    ///   final `k` is the stage's (the first pass's over-fetched heap is
+    ///   priced as candidate records instead).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a carried re-rank stage is inconsistent with the
+    /// workload's batch size.
     pub fn price(&self, workload: &BatchWorkload, plan: &BatchPlan) -> TrafficReport {
         let s = &workload.shape;
         let ebpv = s.encoded_bytes_per_vector() as u64;
@@ -96,6 +117,17 @@ impl TrafficModel {
             .map(|r| r.cluster_size as u64 * ebpv)
             .sum();
         let (fills, spills) = plan.total_topk_units();
+        let (rerank_candidate_bytes, rerank_vector_bytes, result_k) = match &plan.rerank {
+            Some(stage) => {
+                stage.assert_valid(workload.b());
+                (
+                    stage.candidate_record_bytes(),
+                    stage.vector_fetch_bytes(s.d),
+                    stage.k,
+                )
+            }
+            None => (0, 0, s.k),
+        };
         TrafficReport {
             centroid_bytes: s.centroid_bytes(),
             cluster_meta_bytes: CLUSTER_META_BYTES * plan.clusters_fetched(),
@@ -103,7 +135,9 @@ impl TrafficModel {
             topk_spill_bytes: spills * plan.spill_unit_bytes,
             topk_fill_bytes: fills * plan.spill_unit_bytes,
             query_list_bytes: 2 * workload.total_visits() * QUERY_ID_BYTES,
-            result_bytes: (workload.b() * s.k) as u64 * self.params.topk_record_bytes as u64,
+            rerank_candidate_bytes,
+            rerank_vector_bytes,
+            result_bytes: (workload.b() * result_k) as u64 * self.params.topk_record_bytes as u64,
         }
     }
 }
@@ -124,9 +158,11 @@ mod tests {
             topk_spill_bytes: 4,
             topk_fill_bytes: 7,
             query_list_bytes: 5,
+            rerank_candidate_bytes: 8,
+            rerank_vector_bytes: 9,
             result_bytes: 6,
         };
-        assert_eq!(t.total(), 28);
+        assert_eq!(t.total(), 45);
     }
 
     #[test]
@@ -157,6 +193,47 @@ mod tests {
         assert_eq!(t.topk_fill_bytes, 5000);
         assert_eq!(t.query_list_bytes, 2 * 2 * QUERY_ID_BYTES);
         assert_eq!(t.result_bytes, 1000 * 5);
+    }
+
+    #[test]
+    fn rerank_stage_prices_candidates_vectors_and_final_k() {
+        use crate::rerank::{RerankMode, RerankPolicy, RerankPrecision};
+        let params = PlanParams::default();
+        // One query over two 10-vector clusters, first-pass heap k=40
+        // (alpha=4 over final k=10), pool=20 -> 20 candidates.
+        let w = BatchWorkload {
+            shape: SearchShape {
+                d: 128,
+                m: 64,
+                kstar: 256,
+                metric: Metric::L2,
+                num_clusters: 3,
+                k: 40,
+            },
+            cluster_sizes: vec![10, 10, 10],
+            visits: vec![vec![0, 2]],
+        };
+        let policy = RerankPolicy {
+            mode: RerankMode::Fixed(RerankPrecision::F16),
+            alpha: 4,
+        };
+        let base = plan(&params, &w, ScmAllocation::InterQuery);
+        let two_phase =
+            base.clone()
+                .with_rerank(policy.stage(&w, 10, params.topk_record_bytes as u64));
+        let single = TrafficModel::new(params).price(&w, &base);
+        let t = TrafficModel::new(params).price(&w, &two_phase);
+        // First-pass components are untouched by the stage.
+        assert_eq!(t.centroid_bytes, single.centroid_bytes);
+        assert_eq!(t.code_bytes, single.code_bytes);
+        assert_eq!(t.topk_spill_bytes, single.topk_spill_bytes);
+        assert_eq!(t.topk_fill_bytes, single.topk_fill_bytes);
+        // 20 survivors: spilled + filled records, f16 vector fetches.
+        assert_eq!(t.rerank_candidate_bytes, 2 * 20 * 5);
+        assert_eq!(t.rerank_vector_bytes, 20 * 128 * 2);
+        // Results price the final k, not the over-fetched heap.
+        assert_eq!(t.result_bytes, 10 * 5);
+        assert_eq!(single.result_bytes, 40 * 5);
     }
 
     #[test]

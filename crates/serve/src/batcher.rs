@@ -34,7 +34,8 @@ use std::collections::VecDeque;
 use crate::request::Request;
 use anna_index::IvfPqIndex;
 use anna_plan::{
-    BatchPlan, BatchWorkload, PlanParams, SearchShape, TileShaper, TrafficModel, TrafficReport,
+    BatchPlan, BatchWorkload, PlanParams, RerankPolicy, SearchShape, TileShaper, TrafficModel,
+    TrafficReport,
 };
 use anna_vector::VectorSet;
 
@@ -58,6 +59,12 @@ pub struct ServeConfig {
     /// How many candidate prefix shapes the batcher prices per close
     /// (including the full prefix; at least 1).
     pub shape_candidates: usize,
+    /// Two-phase serving: when set, every batch runs the over-fetch +
+    /// re-rank pipeline under this policy. The batcher prices the re-rank
+    /// stage's bytes (candidate records + vector fetches) into its shape
+    /// quotes and deadline predictions, and the executor asserts them
+    /// against the measured stats like every first-pass component.
+    pub rerank: Option<RerankPolicy>,
 }
 
 impl Default for ServeConfig {
@@ -68,6 +75,7 @@ impl Default for ServeConfig {
             queue_capacity: 512,
             service_bytes_per_sec: 4_000_000_000, // ~4 GB/s until calibrated
             shape_candidates: 3,
+            rerank: None,
         }
     }
 }
@@ -92,9 +100,13 @@ pub struct PlannedBatch {
     pub dispatch_ns: u64,
     /// Trace indices of the dispatched requests, FIFO order.
     pub requests: Vec<usize>,
-    /// The heap size the engine runs with: the largest `k` in the batch
+    /// The final result count per query: the largest `k` in the batch
     /// (per-request results are truncated back to their own `k`).
     pub k_exec: usize,
+    /// The first-pass heap size the engine runs with:
+    /// `policy.k_first(k_exec)` under a two-phase config, `k_exec`
+    /// otherwise.
+    pub k_scan: usize,
     /// The exact shaped plan the engine will execute.
     pub plan: BatchPlan,
     /// The TrafficModel's byte-exact prediction for `plan` — the
@@ -150,6 +162,7 @@ impl BatchSchedule {
 /// Prices one prefix of the queue: workload, shaped plan, prediction.
 struct PrefixPricing {
     k_exec: usize,
+    k_scan: usize,
     plan: BatchPlan,
     predicted: TrafficReport,
 }
@@ -198,26 +211,37 @@ impl<'a> Composer<'a> {
             .max()
             .unwrap_or(1)
             .max(1);
+        // Two-phase configs over-fetch: the engine's heaps (and therefore
+        // the workload shape and the spill unit) run at the first-pass k.
+        let k_scan = self
+            .cfg
+            .rerank
+            .map_or(k_exec, |policy| policy.k_first(k_exec));
         let visits: Vec<Vec<usize>> = idxs.iter().map(|&i| self.visits(i).clone()).collect();
         let workload = BatchWorkload {
-            shape: self.shape(k_exec),
+            shape: self.shape(k_scan),
             cluster_sizes: self.cluster_sizes.clone(),
             visits,
         };
         let params = PlanParams::default();
-        let spill_unit = k_exec as u64 * params.topk_record_bytes as u64;
-        let plan = BatchPlan::shaped_from_visitors(
+        let spill_unit = k_scan as u64 * params.topk_record_bytes as u64;
+        let mut plan = BatchPlan::shaped_from_visitors(
             &workload.visitors_per_cluster(),
             &workload.cluster_sizes,
             workload.shape.encoded_bytes_per_vector(),
             &TileShaper::default(),
             spill_unit,
         );
+        if let Some(policy) = self.cfg.rerank {
+            plan =
+                plan.with_rerank(policy.stage(&workload, k_exec, params.topk_record_bytes as u64));
+        }
         let predicted = TrafficModel::new(params).price(&workload, &plan);
         (
             workload,
             PrefixPricing {
                 k_exec,
+                k_scan,
                 plan,
                 predicted,
             },
@@ -358,6 +382,7 @@ pub fn compose(
                 dispatch_ns: close,
                 requests: chosen,
                 k_exec: pricing.k_exec,
+                k_scan: pricing.k_scan,
                 plan: pricing.plan,
                 predicted: pricing.predicted,
                 predicted_service_ns: service,

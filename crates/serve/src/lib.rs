@@ -27,6 +27,13 @@
 //!   virtual queue wait plus measured service time, with p50/p95/p99 from
 //!   [`anna_telemetry::Histogram`]s.
 //!
+//! Two-phase serving: setting [`ServeConfig::rerank`] composes every
+//! batch as an over-fetch + re-rank pipeline — the batcher prices the
+//! plan's [`anna_plan::RerankStage`] bytes (candidate records + vector
+//! fetches) into its shape quotes and deadline predictions, and
+//! [`execute`] (given the full-precision vectors) verifies them against
+//! the measured stats component for component.
+//!
 //! The open-loop arrival generator (seeded Poisson, bursty, diurnal) and
 //! the offered-load sweep live in `anna-bench` (`openloop` /
 //! `serving_sweep`), which emits `reports/serving_sweep.json`.

@@ -28,8 +28,11 @@ pub struct BatchReport {
     pub seq: usize,
     /// Requests carried.
     pub size: usize,
-    /// Heap size the engine ran with (max `k` in the batch).
+    /// Final result count per query (max `k` in the batch).
     pub k_exec: usize,
+    /// First-pass heap size the engine ran with (`k_exec` unless the
+    /// schedule was composed under a two-phase config).
+    pub k_scan: usize,
     /// TrafficModel-predicted total bytes.
     pub predicted_bytes: u64,
     /// Predicted service time at the configured byte rate (virtual).
@@ -37,7 +40,8 @@ pub struct BatchReport {
     /// Measured wall-clock service time of `run_plan`.
     pub measured_service_ns: u64,
     /// Whether every measurable traffic component (code bytes, cluster
-    /// metadata, top-k spill, top-k fill) matched the prediction exactly.
+    /// metadata, top-k spill, top-k fill, re-rank candidate records,
+    /// re-rank vector fetches) matched the prediction exactly.
     pub traffic_match: bool,
 }
 
@@ -99,10 +103,14 @@ pub struct ServeReport {
 /// Executes `schedule` over the batch engine with `threads` workers.
 ///
 /// `trace` and `queries` must be the ones the schedule was composed from.
-/// Telemetry (when enabled) receives `serve.latency_ns`,
-/// `serve.queue_wait_ns`, `serve.service_ns` and `serve.batch_size`
-/// histograms plus `serve.completed` / `serve.shed` / `serve.timed_out` /
+/// `rerank_db` supplies the full-precision vectors for two-phase
+/// schedules (composed under [`crate::ServeConfig::rerank`]); it must be
+/// `Some` iff the schedule's plans carry a re-rank stage. Telemetry
+/// (when enabled) receives `serve.latency_ns`, `serve.queue_wait_ns`,
+/// `serve.service_ns` and `serve.batch_size` histograms plus
+/// `serve.completed` / `serve.shed` / `serve.timed_out` /
 /// `serve.batches` counters.
+#[allow(clippy::too_many_arguments)]
 pub fn execute(
     index: &IvfPqIndex,
     queries: &VectorSet,
@@ -110,9 +118,13 @@ pub fn execute(
     schedule: &BatchSchedule,
     threads: usize,
     lut_precision: LutPrecision,
+    rerank_db: Option<&VectorSet>,
     tel: &Telemetry,
 ) -> ServeReport {
-    let scan = BatchedScan::new(index);
+    let scan = match rerank_db {
+        Some(db) => BatchedScan::with_rerank_db(index, db),
+        None => BatchedScan::new(index),
+    };
     let mut outcomes: Vec<Option<Outcome>> = vec![None; trace.len()];
     let mut results: Vec<Option<Vec<Neighbor>>> = vec![None; trace.len()];
     let mut batch_reports = Vec::with_capacity(schedule.batches.len());
@@ -132,7 +144,7 @@ pub fn execute(
                 .map(|&i| trace[i].nprobe)
                 .max()
                 .unwrap_or(1),
-            k: batch.k_exec,
+            k: batch.k_scan,
             lut_precision,
         };
         let start = Instant::now();
@@ -143,7 +155,9 @@ pub fn execute(
         let traffic_match = stats.code_bytes == p.code_bytes
             && stats.clusters_fetched * CLUSTER_META_BYTES == p.cluster_meta_bytes
             && stats.topk_spill_bytes == p.topk_spill_bytes
-            && stats.topk_fill_bytes == p.topk_fill_bytes;
+            && stats.topk_fill_bytes == p.topk_fill_bytes
+            && stats.rerank_candidate_bytes == p.rerank_candidate_bytes
+            && stats.rerank_vector_bytes == p.rerank_vector_bytes;
         all_traffic_match &= traffic_match;
 
         for (slot, &i) in batch.requests.iter().enumerate() {
@@ -171,6 +185,7 @@ pub fn execute(
             seq: batch.seq,
             size: batch.requests.len(),
             k_exec: batch.k_exec,
+            k_scan: batch.k_scan,
             predicted_bytes: p.total(),
             predicted_service_ns: batch.predicted_service_ns,
             measured_service_ns,

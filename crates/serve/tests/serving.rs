@@ -3,7 +3,9 @@
 //! dispatched batch, and mixed-`k` result correctness against the
 //! query-at-a-time reference.
 
-use anna_index::{IvfPqConfig, IvfPqIndex, LutPrecision, SearchParams};
+use anna_index::{
+    IvfPqConfig, IvfPqIndex, LutPrecision, RerankMode, RerankPolicy, RerankPrecision, SearchParams,
+};
 use anna_serve::{compose, execute, Admission, Outcome, Request, ServeConfig};
 use anna_telemetry::Telemetry;
 use anna_testkit::{forall, TestRng};
@@ -57,6 +59,7 @@ fn serve_cfg(rng: &mut TestRng) -> ServeConfig {
         queue_capacity: rng.usize(8..64),
         service_bytes_per_sec: rng.u64(1_000_000..4_000_000_000),
         shape_candidates: rng.usize(1..4),
+        rerank: None,
     }
 }
 
@@ -100,7 +103,16 @@ fn executed_batches_match_prediction_and_reference() {
         let cfg = serve_cfg(rng);
         let schedule = compose(&index, &data, &trace, &cfg);
         let tel = Telemetry::disabled();
-        let report = execute(&index, &data, &trace, &schedule, 1, LutPrecision::F32, &tel);
+        let report = execute(
+            &index,
+            &data,
+            &trace,
+            &schedule,
+            1,
+            LutPrecision::F32,
+            None,
+            &tel,
+        );
 
         assert!(
             report.all_traffic_match,
@@ -134,7 +146,110 @@ fn executed_batches_match_prediction_and_reference() {
         }
 
         // Parallel execution answers bit-identically.
-        let report4 = execute(&index, &data, &trace, &schedule, 4, LutPrecision::F32, &tel);
+        let report4 = execute(
+            &index,
+            &data,
+            &trace,
+            &schedule,
+            4,
+            LutPrecision::F32,
+            None,
+            &tel,
+        );
+        assert_eq!(report4.results, report.results, "4 threads diverged");
+        assert!(report4.all_traffic_match);
+    });
+}
+
+/// Two-phase serving: the batcher prices the re-rank stage into every
+/// batch's quote, execution measures exactly those bytes, and the
+/// answers match the query-at-a-time two-phase reference.
+#[test]
+fn two_phase_schedule_prices_and_measures_rerank_bytes() {
+    forall("serve two-phase predicted == measured", 4, |rng| {
+        let salt = rng.usize(0..1000);
+        let metric = *rng.pick(&[Metric::L2, Metric::InnerProduct]);
+        let (data, index) = build(metric, salt);
+        // Uniform k / nprobe so every request shares its batch's shape
+        // and the query-at-a-time reference is exact.
+        let k = rng.usize(3..9);
+        let nprobe = rng.usize(2..6);
+        let mut t = 0u64;
+        let trace: Vec<Request> = (0..rng.usize(10..30))
+            .map(|i| {
+                t += rng.u64(0..400_000);
+                Request {
+                    id: i as u64,
+                    query_row: rng.usize(0..data.len()),
+                    k,
+                    nprobe,
+                    arrival_ns: t,
+                    deadline_ns: u64::MAX,
+                }
+            })
+            .collect();
+        let policy = RerankPolicy {
+            mode: *rng.pick(&[
+                RerankMode::Fixed(RerankPrecision::F16),
+                RerankMode::Fixed(RerankPrecision::F32),
+                RerankMode::Adaptive,
+            ]),
+            alpha: rng.usize(2..5),
+        };
+        let cfg = ServeConfig {
+            rerank: Some(policy),
+            ..serve_cfg(rng)
+        };
+        let schedule = compose(&index, &data, &trace, &cfg);
+        for b in &schedule.batches {
+            assert!(b.plan.rerank.is_some(), "two-phase plan lost its stage");
+            assert_eq!(b.k_scan, policy.k_first(b.k_exec));
+            assert!(b.predicted.rerank_vector_bytes > 0);
+            assert!(b.predicted.rerank_candidate_bytes > 0);
+        }
+
+        let tel = Telemetry::disabled();
+        let report = execute(
+            &index,
+            &data,
+            &trace,
+            &schedule,
+            1,
+            LutPrecision::F32,
+            Some(&data),
+            &tel,
+        );
+        assert!(
+            report.all_traffic_match,
+            "a two-phase batch diverged from its priced plan"
+        );
+        for (i, r) in trace.iter().enumerate() {
+            if let Outcome::Completed { .. } = report.outcomes[i] {
+                let got = report.results[i].as_ref().expect("completed => results");
+                let want = index.search_two_phase(
+                    data.row(r.query_row),
+                    &SearchParams {
+                        nprobe: r.nprobe,
+                        k: r.k,
+                        lut_precision: LutPrecision::F32,
+                    },
+                    &policy,
+                    &data,
+                );
+                assert_eq!(got, &want, "request {i} diverged from two-phase reference");
+            }
+        }
+
+        let report4 = execute(
+            &index,
+            &data,
+            &trace,
+            &schedule,
+            4,
+            LutPrecision::F32,
+            Some(&data),
+            &tel,
+        );
         assert_eq!(report4.results, report.results, "4 threads diverged");
         assert!(report4.all_traffic_match);
     });
@@ -209,7 +324,16 @@ fn hopeless_requests_time_out_explicitly() {
         .all(|d| matches!(d, Admission::TimedOut { .. })));
 
     let tel = Telemetry::enabled();
-    let report = execute(&index, &data, &trace, &schedule, 1, LutPrecision::F32, &tel);
+    let report = execute(
+        &index,
+        &data,
+        &trace,
+        &schedule,
+        1,
+        LutPrecision::F32,
+        None,
+        &tel,
+    );
     assert_eq!(report.timed_out, 8);
     assert_eq!(report.completed, 0);
     assert_eq!(report.latency.count, 0);
@@ -239,6 +363,7 @@ fn size_threshold_closes_before_max_wait() {
         queue_capacity: 64,
         service_bytes_per_sec: 4_000_000_000,
         shape_candidates: 1,
+        rerank: None,
     };
     let schedule = compose(&index, &data, &trace, &cfg);
     assert_eq!(schedule.batches.len(), 1);

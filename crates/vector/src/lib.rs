@@ -46,4 +46,4 @@ pub use exact::search as exact_search;
 pub use f16::F16;
 pub use matrix::VectorSet;
 pub use metric::Metric;
-pub use topk::{Neighbor, TopK};
+pub use topk::{sort_neighbors, Neighbor, TopK};

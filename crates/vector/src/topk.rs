@@ -177,9 +177,24 @@ impl TopK {
     /// Consumes the selector and returns the kept entries, best first.
     pub fn into_sorted_vec(self) -> Vec<Neighbor> {
         let mut v: Vec<Neighbor> = self.heap.into_iter().map(|r| r.0).collect();
-        v.sort_by(|a, b| b.cmp(a));
+        sort_neighbors(&mut v);
         v
     }
+}
+
+/// Sorts neighbors best-first by the workspace's *shared* total order:
+/// higher score first, equal scores broken by **lower id**, NaN scores
+/// last.
+///
+/// This is the one ranking rule every ranked-result producer must use —
+/// [`TopK::into_sorted_vec`], `exact::search`, `ground_truth`, and the
+/// re-rank rescorer all rank through [`Neighbor`]'s `Ord`, so truncating
+/// any of their outputs to `k` keeps the *same* ids regardless of input
+/// order or kernel family. Recall comparisons between pipelines stay
+/// stable under score ties (e.g. duplicated database vectors) because the
+/// tie always resolves the same way on both sides.
+pub fn sort_neighbors(v: &mut [Neighbor]) {
+    v.sort_by(|a, b| b.cmp(a));
 }
 
 impl Extend<Neighbor> for TopK {
@@ -202,6 +217,38 @@ mod tests {
         }
         let ids: Vec<u64> = t.into_sorted_vec().iter().map(|n| n.id).collect();
         assert_eq!(ids, vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn truncation_under_ties_keeps_lowest_ids() {
+        // Six candidates share one score; any k-truncation must keep the
+        // lowest ids, independent of push order.
+        let orders: [[u64; 6]; 3] = [[0, 1, 2, 3, 4, 5], [5, 4, 3, 2, 1, 0], [3, 0, 5, 1, 4, 2]];
+        for order in orders {
+            let mut t = TopK::new(3);
+            for id in order {
+                t.push(id, 1.0);
+            }
+            let ids: Vec<u64> = t.into_sorted_vec().iter().map(|n| n.id).collect();
+            assert_eq!(
+                ids,
+                vec![0, 1, 2],
+                "push order {order:?} broke the tie rule"
+            );
+        }
+    }
+
+    #[test]
+    fn sort_neighbors_pins_score_then_id() {
+        let mut v = vec![
+            Neighbor::new(7, 1.0),
+            Neighbor::new(2, f32::NAN),
+            Neighbor::new(3, 1.0),
+            Neighbor::new(9, 2.0),
+        ];
+        sort_neighbors(&mut v);
+        let ids: Vec<u64> = v.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![9, 3, 7, 2]);
     }
 
     #[test]
