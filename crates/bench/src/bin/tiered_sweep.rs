@@ -1,0 +1,61 @@
+//! Sweeps the sharded, tiered engine across cluster-cache capacities and
+//! writes the QPS / bytes-from-storage curve.
+//!
+//! Writes the index as v2 shard segments, replays the same batch
+//! sequence at each capacity from cold (0 bytes) to everything-fits
+//! (2× the encoded bytes), and writes `reports/tiered_sweep.json`.
+//! Exits non-zero if any batch's results diverge from the single-shard
+//! in-RAM oracle, if the measured tier split diverges from the
+//! plan-side cache simulation at any point, or if bytes-from-storage is
+//! not monotone non-increasing in capacity — CI treats all three as
+//! hard failures.
+//!
+//! With `--smoke`, a smaller database runs in seconds and writes
+//! `tiered_sweep_smoke.json` — the CI per-commit check.
+
+use anna_bench::{tiered_sweep, write_report};
+
+fn main() {
+    let mut smoke = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: tiered_sweep [--smoke]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let (db_n, batches, per_batch, report): (usize, usize, usize, &str) = if smoke {
+        (6_000, 3, 16, "tiered_sweep_smoke")
+    } else {
+        (40_000, 4, 48, "tiered_sweep")
+    };
+    eprintln!(
+        "building index over {db_n} vectors, replaying {batches} batches × {per_batch} queries \
+         at 5 cache capacities"
+    );
+    let sweep = tiered_sweep::run(db_n, batches, per_batch);
+    print!("{}", sweep.render());
+    match write_report(report, &sweep.to_json()) {
+        Ok(path) => eprintln!("report written to {}", path.display()),
+        Err(e) => eprintln!("could not write report: {e}"),
+    }
+    // Gates checked last so the report is on disk for the post-mortem
+    // when one trips.
+    if !sweep.all_match() {
+        let bad: Vec<u64> = sweep
+            .points
+            .iter()
+            .filter(|p| !p.traffic_match || !p.identical_to_oracle)
+            .map(|p| p.cache_bytes_per_shard)
+            .collect();
+        eprintln!("predicted != measured (or oracle divergence) at capacities {bad:?}");
+        std::process::exit(1);
+    }
+    if !sweep.disk_bytes_monotone() {
+        eprintln!("bytes-from-storage is not monotone non-increasing in capacity");
+        std::process::exit(1);
+    }
+}

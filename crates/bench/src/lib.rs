@@ -18,6 +18,7 @@
 //! | [`threads_sweep`] / `--bin threads_sweep` | worker-count scaling of the batch engine |
 //! | [`serving_sweep`] / `--bin serving_sweep` | online serving: latency vs offered load ([`openloop`] arrivals through `anna-serve`) |
 //! | [`rerank_sweep`] / `--bin rerank_sweep` | two-phase re-rank: fixed-precision vs adaptive bytes/recall frontier |
+//! | [`tiered_sweep`] / `--bin tiered_sweep` | sharded tiered engine: QPS + bytes-from-storage vs cluster-cache capacity |
 //! | `--bin runall` | everything above, writing `reports/*.json` |
 //!
 //! Binaries accept `--full` for the full-scale profile (see
@@ -42,6 +43,7 @@ pub mod scale;
 pub mod serving_sweep;
 pub mod table1;
 pub mod threads_sweep;
+pub mod tiered_sweep;
 pub mod timeline;
 pub mod traffic_opt;
 

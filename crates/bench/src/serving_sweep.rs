@@ -145,6 +145,7 @@ pub fn run(db_n: usize, requests: usize, load_fractions: &[f64]) -> ServingSweep
         service_bytes_per_sec,
         shape_candidates: 3,
         rerank: None,
+        tier: None,
     };
     let deadline_ns = 200_000_000; // generous 200 ms SLO; overload still trips it
 

@@ -63,6 +63,7 @@ fn seeded_trace_replays_to_identical_batch_compositions() {
             service_bytes_per_sec: rng.u64(10_000_000..8_000_000_000),
             shape_candidates: rng.usize(1..4),
             rerank: None,
+            tier: None,
         };
 
         // Same seed → identical trace.

@@ -182,6 +182,48 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn skewed_rejects_zero_clusters() {
+        ClusterSizeModel::skewed(1000, 0, 0.5, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn skewed_rejects_negative_alpha() {
+        ClusterSizeModel::skewed(1000, 10, -0.1, 1);
+    }
+
+    #[test]
+    fn skewed_handles_fewer_vectors_than_clusters() {
+        // total < num_clusters: sizes must still sum exactly (some
+        // clusters end up empty), at every skew.
+        for alpha in [0.0, 0.5, 1.0] {
+            let m = ClusterSizeModel::skewed(7, 20, alpha, 3);
+            assert_eq!(m.num_clusters(), 20);
+            assert_eq!(m.total(), 7, "alpha={alpha}");
+            assert!(m.sizes().contains(&0));
+        }
+        // The degenerate floor: zero vectors over many clusters.
+        let empty = ClusterSizeModel::skewed(0, 5, 1.0, 3);
+        assert_eq!(empty.total(), 0);
+        assert_eq!(empty.sizes(), &[0; 5]);
+    }
+
+    #[test]
+    fn skewed_alpha_one_sums_exactly_and_orders_by_weight() {
+        // alpha = 1 is the paper-ish heavy tail; the invariants that feed
+        // real execution are exact totals and a genuinely skewed shape.
+        let m = ClusterSizeModel::skewed(50_000, 64, 1.0, 9);
+        assert_eq!(m.total(), 50_000);
+        let max = *m.sizes().iter().max().unwrap();
+        assert!(
+            max as f64 > 2.0 * m.mean(),
+            "alpha=1 should concentrate mass: max={max} mean={}",
+            m.mean()
+        );
+    }
+
+    #[test]
     fn query_visits_have_w_distinct_clusters() {
         let m = ClusterSizeModel::skewed(100_000, 50, 0.8, 7);
         let visits = m.sample_query_visits(20, 8, 3);

@@ -57,14 +57,18 @@ pub mod kernels;
 pub mod lut;
 pub mod parallel;
 pub mod rerank;
+pub mod shard;
+pub mod tiered;
 
 pub use batched::{BatchStats, BatchedScan};
-pub use io::{read_index, write_index};
+pub use io::{read_index, read_segment_hot, write_index, write_segment, SegmentEntry, SegmentHot};
 pub use ivf::{IndexStats, IvfPqConfig, IvfPqIndex, SearchStats, Trainer};
 pub use kernels::{KernelDispatch, ScanScratch, ScanTally};
 pub use lut::{Lut, LutPrecision};
 pub use parallel::BatchExec;
 pub use rerank::{RerankController, RungMeasurement};
+pub use shard::{ShardedIndex, ShardedPrediction, ShardedStats};
+pub use tiered::{FetchedCluster, TieredIndex};
 
 // The crossbar tiling moved into the shared plan layer (`anna-plan`);
 // re-exported here so software-side callers keep one import path.

@@ -1,0 +1,882 @@
+//! Sharded IVF-PQ search: N shards scanned in parallel, merged into one
+//! deterministic top-k.
+//!
+//! A [`ShardedIndex`] partitions an index's clusters round-robin (global
+//! cluster `g` lives in shard `g % N` at local id `g / N`) while keeping
+//! the *global* coarse centroids resident, so cluster filtering is the
+//! exact arithmetic of [`IvfPqIndex::filter_clusters`] — same centroids,
+//! same similarity pushes, same tie-breaks. Each shard is either an
+//! in-RAM cluster array or a [`TieredIndex`] (v2 segment behind a
+//! cluster-granularity cache; see [`crate::tiered`]).
+//!
+//! Search runs shard-parallel on a scoped worker pool: workers claim whole
+//! shards off an atomic cursor and scan each shard *serially* in ascending
+//! local-cluster order, so per-shard work — including every cache
+//! admission/eviction decision of a tiered shard — is a deterministic
+//! function of the batch, never of thread scheduling. Per-query partial
+//! top-k heaps are then folded shard-by-shard with [`TopK::merge`], whose
+//! total order (score descending, lower id on ties) makes the fold
+//! order-insensitive: results are bit-identical to a single-shard serial
+//! oracle at every shard count and every thread count.
+//!
+//! Traffic accounting mirrors the plan layer's unbounded
+//! [`BatchPlan::from_visitors`](anna_plan::BatchPlan::from_visitors)
+//! schedule: a query visiting `W_sq` clusters inside shard `s` pays
+//! `W_sq − 1` spill/fill units there, and the global merge pays `S_q − 1`
+//! more (one per extra contributing shard), which telescopes to the
+//! single-shard `W_q − 1` — so [`ShardedIndex::price_batch`]'s prediction
+//! equals [`ShardedIndex::search_batch`]'s measurement component for
+//! component, storage tier included.
+
+use crate::batched::BatchStats;
+use crate::ivf::{Cluster, IvfPqIndex};
+use crate::kernels::{self, KernelDispatch, ScanScratch};
+use crate::lut::Lut;
+use crate::tiered::TieredIndex;
+use crate::SearchParams;
+use anna_plan::{
+    BatchPlan, BatchWorkload, PlanParams, SearchShape, TierTraffic, TrafficModel, TrafficReport,
+};
+use anna_quant::codes::CodeWidth;
+use anna_quant::kmeans::KMeans;
+use anna_quant::pq::PqCodebook;
+use anna_vector::{metric, Metric, Neighbor, TopK, VectorSet};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Measured traffic of one sharded batch: the cluster-major byte counters
+/// plus the storage-tier split (all zero for all-RAM shards, which have no
+/// storage tier).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct ShardedStats {
+    /// Cluster-major traffic counters, summed across shards, with the
+    /// cross-shard merge's spill/fill units included.
+    pub batch: BatchStats,
+    /// Bytes-from-cache vs bytes-from-storage split and cache telemetry,
+    /// summed across tiered shards.
+    pub tier: TierTraffic,
+}
+
+/// Predicted traffic of one sharded batch, from
+/// [`ShardedIndex::price_batch`].
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ShardedPrediction {
+    /// The assembled global traffic report (per-shard
+    /// [`TrafficModel::price`] components summed; results and the merge's
+    /// spill/fill counted once globally).
+    pub traffic: TrafficReport,
+    /// Predicted tier split, from replaying each tiered shard's cache
+    /// simulation against the shard's plan.
+    pub tier: TierTraffic,
+}
+
+enum ShardStore {
+    Ram(Vec<Cluster>),
+    Tiered(Box<TieredIndex>),
+}
+
+impl ShardStore {
+    fn cluster_len(&self, lc: usize) -> usize {
+        match self {
+            ShardStore::Ram(clusters) => clusters[lc].len(),
+            ShardStore::Tiered(t) => t.cluster_len(lc),
+        }
+    }
+
+    fn num_clusters(&self) -> usize {
+        match self {
+            ShardStore::Ram(clusters) => clusters.len(),
+            ShardStore::Tiered(t) => t.num_clusters(),
+        }
+    }
+}
+
+/// An IVF-PQ index partitioned round-robin across N shards, searched
+/// shard-parallel with a deterministic global merge.
+pub struct ShardedIndex {
+    metric: Metric,
+    dim: usize,
+    codebook: PqCodebook,
+    /// Global coarse centroids — row `g` is cluster `g`, identical to the
+    /// unsharded index's, so filtering arithmetic is unchanged.
+    centroids: VectorSet,
+    cluster_sizes: Vec<usize>,
+    num_vectors: u64,
+    shards: Vec<ShardStore>,
+}
+
+impl std::fmt::Debug for ShardedIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedIndex")
+            .field("num_shards", &self.shards.len())
+            .field("num_clusters", &self.cluster_sizes.len())
+            .field("num_vectors", &self.num_vectors)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardedIndex {
+    /// Partitions `index` into `num_shards` in-RAM shards (clusters
+    /// round-robin by global id). With `num_shards == 1` this is the
+    /// serial oracle the multi-shard paths are tested against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards == 0`.
+    pub fn from_index(index: &IvfPqIndex, num_shards: usize) -> ShardedIndex {
+        assert!(num_shards > 0, "at least one shard required");
+        let c = index.num_clusters();
+        let mut shards: Vec<Vec<Cluster>> = (0..num_shards).map(|_| Vec::new()).collect();
+        for g in 0..c {
+            shards[g % num_shards].push(index.cluster(g).clone());
+        }
+        ShardedIndex {
+            metric: index.metric(),
+            dim: index.dim(),
+            codebook: index.codebook().clone(),
+            centroids: index.centroids().clone(),
+            cluster_sizes: index.cluster_sizes(),
+            num_vectors: index.num_vectors(),
+            shards: shards.into_iter().map(ShardStore::Ram).collect(),
+        }
+    }
+
+    /// Writes `index` as `num_shards` v2 segment files in `dir`
+    /// (`shard-<s>.seg`, clusters round-robin by global id) and returns
+    /// the paths, ready for [`ShardedIndex::open_tiered`].
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating or writing the files.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards == 0`.
+    pub fn write_shard_segments(
+        index: &IvfPqIndex,
+        num_shards: usize,
+        dir: &Path,
+    ) -> io::Result<Vec<PathBuf>> {
+        assert!(num_shards > 0, "at least one shard required");
+        std::fs::create_dir_all(dir)?;
+        let c = index.num_clusters();
+        let mut paths = Vec::with_capacity(num_shards);
+        for s in 0..num_shards {
+            let globals: Vec<usize> = (s..c).step_by(num_shards).collect();
+            let local = IvfPqIndex::from_parts(
+                index.metric(),
+                KMeans::from_centroids(index.centroids().gather(&globals)),
+                index.codebook().clone(),
+                globals.iter().map(|&g| index.cluster(g).clone()).collect(),
+            );
+            let path = dir.join(format!("shard-{s}.seg"));
+            let file = std::fs::File::create(&path)?;
+            let mut w = std::io::BufWriter::new(file);
+            crate::io::write_segment(&mut w, &local)?;
+            std::io::Write::flush(&mut w)?;
+            paths.push(path);
+        }
+        Ok(paths)
+    }
+
+    /// Opens segment files as tiered shards, each with its own
+    /// cluster cache of `cache_bytes_per_shard` (encoded-code bytes).
+    /// `paths[s]` must be shard `s` of a round-robin partition (as
+    /// written by [`ShardedIndex::write_shard_segments`]); the global
+    /// centroid set is rebuilt by interleaving the shards' rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a segment fails to open or validate, or the
+    /// shards are mutually inconsistent (metric/dimension/codebook-shape
+    /// mismatch, or cluster counts that no round-robin partition
+    /// produces).
+    pub fn open_tiered(paths: &[PathBuf], cache_bytes_per_shard: u64) -> io::Result<ShardedIndex> {
+        if paths.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "at least one shard required",
+            ));
+        }
+        let shards: Vec<TieredIndex> = paths
+            .iter()
+            .map(|p| TieredIndex::open(p, cache_bytes_per_shard))
+            .collect::<io::Result<_>>()?;
+        let first = &shards[0];
+        let (metric_, dim) = (first.metric(), first.dim());
+        let (m, kstar) = (first.codebook().m(), first.codebook().kstar());
+        for (s, sh) in shards.iter().enumerate() {
+            if sh.metric() != metric_
+                || sh.dim() != dim
+                || sh.codebook().m() != m
+                || sh.codebook().kstar() != kstar
+            {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("shard {s} disagrees with shard 0 on metric/dim/codebook shape"),
+                ));
+            }
+        }
+        let n = shards.len();
+        let c: usize = shards.iter().map(|sh| sh.num_clusters()).sum();
+        for (s, sh) in shards.iter().enumerate() {
+            let want = if s < c { (c - s).div_ceil(n) } else { 0 };
+            if sh.num_clusters() != want {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "shard {s} has {} clusters; a round-robin partition of {c} over {n} \
+                         shards would give it {want}",
+                        sh.num_clusters()
+                    ),
+                ));
+            }
+        }
+        let mut centroids = VectorSet::zeros(dim, 0);
+        let mut cluster_sizes = Vec::with_capacity(c);
+        for g in 0..c {
+            centroids.push(shards[g % n].centroids().row(g / n));
+            cluster_sizes.push(shards[g % n].cluster_len(g / n));
+        }
+        let num_vectors = cluster_sizes.iter().map(|&s| s as u64).sum();
+        Ok(ShardedIndex {
+            metric: metric_,
+            dim,
+            codebook: first.codebook().clone(),
+            centroids,
+            cluster_sizes,
+            num_vectors,
+            shards: shards
+                .into_iter()
+                .map(|t| ShardStore::Tiered(Box::new(t)))
+                .collect(),
+        })
+    }
+
+    /// The similarity metric.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// Vector dimension `D`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of shards `N`.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total number of clusters `|C|` across all shards.
+    pub fn num_clusters(&self) -> usize {
+        self.cluster_sizes.len()
+    }
+
+    /// Total number of indexed vectors.
+    pub fn num_vectors(&self) -> u64 {
+        self.num_vectors
+    }
+
+    /// Global cluster sizes `|C_i|` (index = global cluster id).
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        self.cluster_sizes.clone()
+    }
+
+    /// The global coarse centroids (row `g` = cluster `g`).
+    pub fn centroids(&self) -> &VectorSet {
+        &self.centroids
+    }
+
+    /// Cumulative tier telemetry summed over the tiered shards (all zero
+    /// for an all-RAM sharding).
+    pub fn tier_counters(&self) -> TierTraffic {
+        let mut total = TierTraffic::default();
+        for sh in &self.shards {
+            if let ShardStore::Tiered(t) = sh {
+                total.accumulate(&t.counters());
+            }
+        }
+        total
+    }
+
+    /// Bytes per encoded vector, `M·log2(k*)/8`.
+    fn ebpv(&self) -> usize {
+        let width = match self.codebook.kstar() {
+            16 => CodeWidth::U4,
+            _ => CodeWidth::U8,
+        };
+        width.vector_bytes(self.codebook.m())
+    }
+
+    /// Cluster filtering against the global centroids — the exact
+    /// arithmetic of [`IvfPqIndex::filter_clusters`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q.len() != self.dim()`.
+    pub fn filter_clusters(&self, q: &[f32], nprobe: usize) -> Vec<usize> {
+        assert_eq!(q.len(), self.dim, "query dimension mismatch");
+        let mut top = TopK::new(nprobe.clamp(1, self.num_clusters()));
+        for (i, c) in self.centroids.iter().enumerate() {
+            top.push(i as u64, self.metric.similarity(q, c));
+        }
+        top.into_sorted_vec()
+            .into_iter()
+            .map(|n| n.id as usize)
+            .collect()
+    }
+
+    /// Per-shard visitor lists for a batch: entry `[s][lc]` lists the
+    /// queries visiting shard `s`'s local cluster `lc`, ascending query
+    /// order (the same inversion [`crate::BatchedScan::plan`] builds,
+    /// split by shard).
+    fn shard_visitors(&self, queries: &VectorSet, nprobe: usize) -> Vec<Vec<Vec<usize>>> {
+        let n = self.shards.len();
+        let mut visiting: Vec<Vec<Vec<usize>>> = self
+            .shards
+            .iter()
+            .map(|sh| vec![Vec::new(); sh.num_clusters()])
+            .collect();
+        for (qi, q) in queries.iter().enumerate() {
+            for g in self.filter_clusters(q, nprobe) {
+                visiting[g % n][g / n].push(qi);
+            }
+        }
+        visiting
+    }
+
+    /// The software spill/fill unit: a full `k`-record heap at the
+    /// paper's packed 5 B records (same pricing as the batch engine).
+    fn spill_unit(&self, params: &SearchParams) -> u64 {
+        params.k as u64 * PlanParams::default().topk_record_bytes as u64
+    }
+
+    /// Prices the batch *before* execution: per shard, the unbounded
+    /// cluster-major plan is priced by [`TrafficModel`] (tier-split
+    /// against a clone of the shard's live cache state), then assembled
+    /// globally — component sums, plus one `S_q − 1` merge spill/fill per
+    /// query, with results counted once. The prediction equals what
+    /// [`ShardedIndex::search_batch`] will measure, exactly, provided no
+    /// other batch runs against the tiered shards in between.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries.dim() != self.dim()`.
+    pub fn price_batch(&self, queries: &VectorSet, params: &SearchParams) -> ShardedPrediction {
+        assert_eq!(queries.dim(), self.dim, "query dimension mismatch");
+        let unit = self.spill_unit(params);
+        let model = TrafficModel::new(PlanParams::default());
+        let visiting = self.shard_visitors(queries, params.nprobe);
+        let b = queries.len();
+        let mut traffic = TrafficReport::default();
+        let mut tier = TierTraffic::default();
+        let mut contributing = vec![0u64; b];
+        for sv in &visiting {
+            let mut seen = vec![false; b];
+            for qs in sv {
+                for &qi in qs {
+                    if !seen[qi] {
+                        seen[qi] = true;
+                        contributing[qi] += 1;
+                    }
+                }
+            }
+        }
+        let merge_units: u64 = contributing.iter().map(|c| c.saturating_sub(1)).sum();
+        for (s, sh) in self.shards.iter().enumerate() {
+            let local_sizes: Vec<usize> = (0..sh.num_clusters())
+                .map(|lc| sh.cluster_len(lc))
+                .collect();
+            let mut visits: Vec<Vec<usize>> = vec![Vec::new(); b];
+            for (lc, qs) in visiting[s].iter().enumerate() {
+                for &qi in qs {
+                    visits[qi].push(lc);
+                }
+            }
+            let workload = BatchWorkload {
+                shape: SearchShape {
+                    d: self.dim,
+                    m: self.codebook.m(),
+                    kstar: self.codebook.kstar(),
+                    metric: self.metric,
+                    num_clusters: sh.num_clusters(),
+                    k: params.k,
+                },
+                cluster_sizes: local_sizes.clone(),
+                visits,
+            };
+            let plan = BatchPlan::from_visitors(&visiting[s], &local_sizes, 0, unit);
+            let (report, shard_tier) = match sh {
+                ShardStore::Tiered(t) => {
+                    let mut sim = t.cache_sim();
+                    model.price_tiered(&workload, &plan, &mut sim)
+                }
+                ShardStore::Ram(_) => (model.price(&workload, &plan), TierTraffic::default()),
+            };
+            traffic.centroid_bytes += report.centroid_bytes;
+            traffic.cluster_meta_bytes += report.cluster_meta_bytes;
+            traffic.code_bytes += report.code_bytes;
+            traffic.topk_spill_bytes += report.topk_spill_bytes;
+            traffic.topk_fill_bytes += report.topk_fill_bytes;
+            traffic.query_list_bytes += report.query_list_bytes;
+            tier.accumulate(&shard_tier);
+        }
+        traffic.topk_spill_bytes += merge_units * unit;
+        traffic.topk_fill_bytes += merge_units * unit;
+        traffic.result_bytes =
+            (b * params.k) as u64 * PlanParams::default().topk_record_bytes as u64;
+        ShardedPrediction { traffic, tier }
+    }
+
+    /// Searches a batch shard-parallel: global filtering, per-shard
+    /// serial cluster-major scans on up to `threads` scoped workers (each
+    /// shard scanned by exactly one worker), then a global
+    /// [`TopK::merge`] fold per query. Results and stats are bit-identical
+    /// for any `threads ≥ 1` and equal the single-shard serial oracle's.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a tiered shard's storage read fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries.dim() != self.dim()` or `threads == 0`.
+    pub fn search_batch(
+        &self,
+        queries: &VectorSet,
+        params: &SearchParams,
+        threads: usize,
+    ) -> io::Result<(Vec<Vec<Neighbor>>, ShardedStats)> {
+        assert_eq!(queries.dim(), self.dim, "query dimension mismatch");
+        assert!(threads > 0, "at least one worker required");
+        let b = queries.len();
+        let visiting = self.shard_visitors(queries, params.nprobe);
+        let unit = self.spill_unit(params);
+
+        // Shared inner-product base tables (cluster-invariant) per query;
+        // L2 tables are cluster-specific and built inside the shard scan.
+        let ip_base: Option<Vec<Lut>> = match self.metric {
+            Metric::InnerProduct => Some(
+                queries
+                    .iter()
+                    .map(|q| Lut::build_ip(q, &self.codebook, params.lut_precision))
+                    .collect(),
+            ),
+            Metric::L2 => None,
+        };
+
+        let dispatch = KernelDispatch::current();
+        let cursor = AtomicUsize::new(0);
+        let outputs: Mutex<Vec<(usize, ShardScan)>> = Mutex::new(Vec::new());
+        let failure: Mutex<Option<io::Error>> = Mutex::new(None);
+        let workers = threads.min(self.shards.len()).max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut scratch = ScanScratch::new();
+                    loop {
+                        let s = cursor.fetch_add(1, Ordering::Relaxed);
+                        if s >= self.shards.len() {
+                            return;
+                        }
+                        if failure.lock().expect("failure slot poisoned").is_some() {
+                            return;
+                        }
+                        match self.scan_shard(
+                            s,
+                            queries,
+                            params,
+                            &visiting[s],
+                            ip_base.as_deref(),
+                            dispatch,
+                            &mut scratch,
+                            unit,
+                        ) {
+                            Ok(out) => outputs.lock().expect("outputs poisoned").push((s, out)),
+                            Err(e) => {
+                                *failure.lock().expect("failure slot poisoned") = Some(e);
+                                return;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        if let Some(e) = failure.into_inner().expect("failure slot poisoned") {
+            return Err(e);
+        }
+        let mut outputs = outputs.into_inner().expect("outputs poisoned");
+        outputs.sort_by_key(|(s, _)| *s);
+
+        // Fold per-shard partials shard-by-shard (ascending shard id; the
+        // order is immaterial to the merged contents — TopK's total order
+        // makes merge commutative over disjoint id sets — but fixing it
+        // keeps the fold itself deterministic too). Each query pays one
+        // spill/fill unit per contributing shard beyond its first.
+        let mut stats = ShardedStats::default();
+        let mut merged: Vec<TopK> = (0..b).map(|_| TopK::new(params.k)).collect();
+        let mut contributions = vec![0u64; b];
+        for (_, out) in &outputs {
+            stats.batch.accumulate(&out.batch);
+            stats.tier.accumulate(&out.tier);
+            for (qi, partial) in &out.partials {
+                merged[*qi].merge(partial);
+                contributions[*qi] += 1;
+            }
+        }
+        for &c in &contributions {
+            stats.batch.topk_spill_bytes += c.saturating_sub(1) * unit;
+            stats.batch.topk_fill_bytes += c.saturating_sub(1) * unit;
+        }
+        let results = merged.into_iter().map(TopK::into_sorted_vec).collect();
+        Ok((results, stats))
+    }
+
+    /// Scans one shard serially in ascending local-cluster order:
+    /// per-query partial heaps plus the shard's traffic counters
+    /// (in-shard spill/fill only — merge crossings are counted by the
+    /// caller).
+    #[allow(clippy::too_many_arguments)]
+    fn scan_shard(
+        &self,
+        s: usize,
+        queries: &VectorSet,
+        params: &SearchParams,
+        visiting: &[Vec<usize>],
+        ip_base: Option<&[Lut]>,
+        dispatch: KernelDispatch,
+        scratch: &mut ScanScratch,
+        unit: u64,
+    ) -> io::Result<ShardScan> {
+        let sh = &self.shards[s];
+        let n = self.shards.len();
+        let ebpv = self.ebpv() as u64;
+        let mut batch = BatchStats::default();
+        let mut tier = TierTraffic::default();
+        let mut heaps: Vec<Option<TopK>> = (0..queries.len()).map(|_| None).collect();
+        let mut in_shard_visits = vec![0u64; queries.len()];
+        for (lc, qs) in visiting.iter().enumerate() {
+            if qs.is_empty() {
+                continue;
+            }
+            let g = lc * n + s;
+            let len = sh.cluster_len(lc);
+            let code_bytes = len as u64 * ebpv;
+            batch.clusters_fetched += 1;
+            batch.code_bytes += code_bytes;
+            batch.query_cluster_visits += qs.len() as u64;
+            batch.conventional_code_bytes += qs.len() as u64 * code_bytes;
+            // Fetch the block exactly once per batch, crediting the cache
+            // with the full visitor count — the admission signal the plan
+            // layer's simulation uses.
+            let fetched;
+            let cluster: &Cluster = match sh {
+                ShardStore::Ram(clusters) => &clusters[lc],
+                ShardStore::Tiered(t) => {
+                    fetched = t.fetch_cluster(lc, qs.len() as u64)?;
+                    tier.record(&fetched.outcome, fetched.code_bytes);
+                    fetched.cluster.as_ref()
+                }
+            };
+            for &qi in qs {
+                in_shard_visits[qi] += 1;
+                let heap = heaps[qi].get_or_insert_with(|| TopK::new(params.k));
+                if cluster.is_empty() {
+                    continue;
+                }
+                let q = queries.row(qi);
+                let lut = match ip_base {
+                    Some(base) => base[qi].with_bias(metric::dot(q, self.centroids.row(g))),
+                    None => Lut::build_l2(
+                        q,
+                        self.centroids.row(g),
+                        &self.codebook,
+                        params.lut_precision,
+                    ),
+                };
+                kernels::scan_with(&cluster.codes, &cluster.ids, &lut, heap, dispatch, scratch);
+            }
+        }
+        let mut partials = Vec::new();
+        for (qi, heap) in heaps.into_iter().enumerate() {
+            if let Some(h) = heap {
+                let crossings = in_shard_visits[qi].saturating_sub(1);
+                batch.topk_spill_bytes += crossings * unit;
+                batch.topk_fill_bytes += crossings * unit;
+                partials.push((qi, h));
+            }
+        }
+        Ok(ShardScan {
+            partials,
+            batch,
+            tier,
+        })
+    }
+}
+
+struct ShardScan {
+    /// `(query, partial top-k)` for every query that visited this shard,
+    /// ascending query id.
+    partials: Vec<(usize, TopK)>,
+    batch: BatchStats,
+    tier: TierTraffic,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ivf::IvfPqConfig;
+    use crate::LutPrecision;
+    use anna_quant::codes::PackedCodes;
+    use std::sync::atomic::AtomicU64;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "anna_shard_{tag}_{}_{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn clustered(dim: usize, n: usize) -> VectorSet {
+        VectorSet::from_fn(dim, n, |r, c| {
+            (r % 7) as f32 * 18.0 + ((r * 31 + c * 7) % 13) as f32 * 0.25
+        })
+    }
+
+    fn build(metric: Metric) -> (VectorSet, IvfPqIndex) {
+        let data = clustered(8, 560);
+        let index = IvfPqIndex::build(
+            &data,
+            &IvfPqConfig {
+                metric,
+                num_clusters: 14,
+                m: 4,
+                kstar: 16,
+                ..IvfPqConfig::default()
+            },
+        );
+        (data, index)
+    }
+
+    fn params() -> SearchParams {
+        SearchParams {
+            nprobe: 5,
+            k: 4,
+            lut_precision: LutPrecision::F32,
+        }
+    }
+
+    #[test]
+    fn sharded_matches_query_major_search() {
+        for metric in [Metric::L2, Metric::InnerProduct] {
+            let (data, index) = build(metric);
+            let queries = data.gather(&(0..24).map(|i| i * 19 % 560).collect::<Vec<_>>());
+            let p = params();
+            for shards in [1usize, 2, 3, 5] {
+                let sharded = ShardedIndex::from_index(&index, shards);
+                let (results, _) = sharded.search_batch(&queries, &p, 4).unwrap();
+                for (qi, q) in queries.iter().enumerate() {
+                    assert_eq!(
+                        results[qi],
+                        index.search(q, &p),
+                        "{metric:?} shards={shards} query {qi} diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_and_thread_counts_do_not_change_results_or_stats() {
+        let (data, index) = build(Metric::L2);
+        let queries = data.gather(&(0..32).collect::<Vec<_>>());
+        let p = params();
+        let oracle = ShardedIndex::from_index(&index, 1);
+        let (want, want_stats) = oracle.search_batch(&queries, &p, 1).unwrap();
+        for shards in [2usize, 3, 4, 7] {
+            let sharded = ShardedIndex::from_index(&index, shards);
+            for threads in [1usize, 2, 4, 8] {
+                let (got, stats) = sharded.search_batch(&queries, &p, threads).unwrap();
+                assert_eq!(got, want, "shards={shards} threads={threads}");
+                assert_eq!(
+                    stats.batch, want_stats.batch,
+                    "shards={shards} threads={threads} stats"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prediction_matches_measurement_for_ram_shards() {
+        let (data, index) = build(Metric::L2);
+        let queries = data.gather(&(0..20).collect::<Vec<_>>());
+        let p = params();
+        for shards in [1usize, 3] {
+            let sharded = ShardedIndex::from_index(&index, shards);
+            let predicted = sharded.price_batch(&queries, &p);
+            let (_, measured) = sharded.search_batch(&queries, &p, 2).unwrap();
+            assert_eq!(predicted.traffic.code_bytes, measured.batch.code_bytes);
+            assert_eq!(
+                predicted.traffic.cluster_meta_bytes,
+                measured.batch.clusters_fetched * anna_plan::CLUSTER_META_BYTES
+            );
+            assert_eq!(
+                predicted.traffic.topk_spill_bytes,
+                measured.batch.topk_spill_bytes
+            );
+            assert_eq!(
+                predicted.traffic.topk_fill_bytes,
+                measured.batch.topk_fill_bytes
+            );
+            assert_eq!(predicted.tier, measured.tier);
+            assert_eq!(predicted.tier, TierTraffic::default());
+        }
+    }
+
+    #[test]
+    fn tiered_shards_match_ram_shards_and_their_prediction() {
+        let (data, index) = build(Metric::InnerProduct);
+        let queries = data.gather(&(0..16).collect::<Vec<_>>());
+        let p = params();
+        let dir = temp_dir("tiered");
+        let paths = ShardedIndex::write_shard_segments(&index, 3, &dir).unwrap();
+        let ram = ShardedIndex::from_index(&index, 3);
+        let (want, want_stats) = ram.search_batch(&queries, &p, 2).unwrap();
+        let total: u64 = (0..index.num_clusters())
+            .map(|g| index.cluster(g).encoded_bytes())
+            .sum();
+        for capacity in [0u64, total / 4, u64::MAX] {
+            let tiered = ShardedIndex::open_tiered(&paths, capacity).unwrap();
+            // Two batches: the second exercises warm-cache hits.
+            for round in 0..2 {
+                let predicted = tiered.price_batch(&queries, &p);
+                let (got, stats) = tiered.search_batch(&queries, &p, 2).unwrap();
+                assert_eq!(got, want, "capacity={capacity} round={round}");
+                assert_eq!(stats.batch, want_stats.batch, "capacity={capacity}");
+                assert_eq!(predicted.tier, stats.tier, "capacity={capacity} tier");
+                assert_eq!(
+                    stats.tier.total_code_bytes(),
+                    stats.batch.code_bytes,
+                    "tier split must cover all code bytes"
+                );
+            }
+        }
+        let counters = ShardedIndex::open_tiered(&paths, u64::MAX)
+            .unwrap()
+            .tier_counters();
+        assert_eq!(counters, TierTraffic::default());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// Satellite regression: the same code row under identical centroids
+    /// placed in two different shards scores identically, and the merged
+    /// top-k must keep the lower id — at every shard count — because
+    /// [`TopK`]'s total order breaks score ties by ascending id and
+    /// `merge` preserves it across shard boundaries.
+    #[test]
+    fn duplicate_scores_across_shards_keep_the_lower_id() {
+        let dim = 4;
+        let m = 2;
+        let kstar = 16;
+        let sub = dim / m;
+        let books: Vec<VectorSet> = (0..m)
+            .map(|j| VectorSet::from_fn(sub, kstar, |r, c| (r * 3 + c + j) as f32 * 0.5))
+            .collect();
+        let codebook = PqCodebook::from_books(books);
+        let centroids = VectorSet::from_fn(dim, 2, |_, c| c as f32 + 1.0);
+        let mk_cluster = |id: u64| {
+            let mut codes = PackedCodes::new(m, CodeWidth::U4);
+            codes.push(&[3, 9]);
+            Cluster {
+                ids: vec![id],
+                codes,
+            }
+        };
+        // Global cluster 0 (shard 0 when sharded) holds the HIGHER id, so
+        // a merge that kept whichever partial came first would be wrong.
+        let index = IvfPqIndex::from_parts(
+            Metric::L2,
+            KMeans::from_centroids(centroids),
+            codebook,
+            vec![mk_cluster(7), mk_cluster(3)],
+        );
+        let p = SearchParams {
+            nprobe: 2,
+            k: 1,
+            lut_precision: LutPrecision::F32,
+        };
+        let queries = VectorSet::from_fn(dim, 1, |_, c| c as f32 * 0.1 + 1.2);
+        let oracle = index.search(queries.row(0), &p);
+        assert_eq!(oracle.len(), 1);
+        assert_eq!(oracle[0].id, 3, "tie must resolve to the lower id");
+        for shards in [1usize, 2] {
+            for threads in [1usize, 2] {
+                let sharded = ShardedIndex::from_index(&index, shards);
+                let (results, _) = sharded.search_batch(&queries, &p, threads).unwrap();
+                assert_eq!(
+                    results[0], oracle,
+                    "shards={shards} threads={threads}: duplicate score lost the id tie"
+                );
+            }
+        }
+        // With k=2 both copies survive; order must still be lower id first.
+        let p2 = SearchParams { k: 2, ..p };
+        let both = ShardedIndex::from_index(&index, 2)
+            .search_batch(&queries, &p2, 2)
+            .unwrap()
+            .0;
+        assert_eq!(both[0].len(), 2);
+        assert_eq!(both[0][0].score, both[0][1].score);
+        assert_eq!(both[0][0].id, 3);
+        assert_eq!(both[0][1].id, 7);
+    }
+
+    #[test]
+    fn open_tiered_rejects_inconsistent_shard_sets() {
+        // 15 clusters over 2 shards is an 8/7 split, so presenting the
+        // shards in the wrong order cannot be a round-robin partition.
+        let data = clustered(8, 560);
+        let index = IvfPqIndex::build(
+            &data,
+            &IvfPqConfig {
+                metric: Metric::L2,
+                num_clusters: 15,
+                m: 4,
+                kstar: 16,
+                ..IvfPqConfig::default()
+            },
+        );
+        let dir = temp_dir("inconsistent");
+        let paths = ShardedIndex::write_shard_segments(&index, 2, &dir).unwrap();
+        let swapped = vec![paths[1].clone(), paths[0].clone()];
+        assert!(
+            ShardedIndex::open_tiered(&swapped, u64::MAX).is_err(),
+            "out-of-order shards must be rejected"
+        );
+        assert!(ShardedIndex::open_tiered(&paths, u64::MAX).is_ok());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn empty_batch_and_more_shards_than_clusters_are_fine() {
+        let (data, index) = build(Metric::L2);
+        let sharded = ShardedIndex::from_index(&index, 20);
+        assert_eq!(sharded.num_shards(), 20);
+        let empty = VectorSet::zeros(8, 0);
+        let (results, stats) = sharded.search_batch(&empty, &params(), 2).unwrap();
+        assert!(results.is_empty());
+        assert_eq!(stats, ShardedStats::default());
+        let queries = data.gather(&[0, 40]);
+        let (got, _) = sharded.search_batch(&queries, &params(), 3).unwrap();
+        for (qi, q) in queries.iter().enumerate() {
+            assert_eq!(got[qi], index.search(q, &params()));
+        }
+    }
+}

@@ -39,6 +39,7 @@
 
 #![deny(missing_docs)]
 
+mod cache;
 mod plan;
 mod rerank;
 mod shape;
@@ -46,6 +47,7 @@ mod tiles;
 mod traffic;
 mod workload;
 
+pub use cache::{ClusterCacheSim, FetchOutcome, TierTraffic};
 pub use plan::{plan, BatchPlan, PlanParams, Round, ScmAllocation};
 pub use rerank::{RerankMode, RerankPolicy, RerankPrecision, RerankQuery, RerankStage};
 pub use shape::TileShaper;

@@ -9,6 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::cache::{ClusterCacheSim, TierTraffic};
 use crate::plan::{BatchPlan, PlanParams};
 use crate::workload::BatchWorkload;
 
@@ -140,6 +141,47 @@ impl TrafficModel {
             result_bytes: (workload.b() * result_k) as u64 * self.params.topk_record_bytes as u64,
         }
     }
+
+    /// Like [`TrafficModel::price`], but additionally splits `code_bytes`
+    /// across the two storage tiers by threading the plan's fetches
+    /// through `cache` — the cluster-cache policy state of the index the
+    /// plan will run against.
+    ///
+    /// Each fetching round is offered to the cache with the cluster's
+    /// encoded bytes and its *total* visit count in this plan (the
+    /// cluster-major schedule scores every visitor while the block is
+    /// buffered, so the whole batch's visits inform admission). `cache`
+    /// is advanced in place; to *predict* without committing, pass a
+    /// clone of the runtime cache's state — the runtime makes the
+    /// identical decisions in the identical order during execution, so
+    /// the predicted [`TierTraffic`] equals the measured one exactly.
+    ///
+    /// The returned report is identical to [`TrafficModel::price`]'s; the
+    /// tier split satisfies
+    /// `cache_code_bytes + disk_code_bytes == code_bytes`.
+    pub fn price_tiered(
+        &self,
+        workload: &BatchWorkload,
+        plan: &BatchPlan,
+        cache: &mut ClusterCacheSim,
+    ) -> (TrafficReport, TierTraffic) {
+        let report = self.price(workload, plan);
+        let ebpv = workload.shape.encoded_bytes_per_vector() as u64;
+        // Total visitors per cluster across the plan (a split cluster's
+        // later rounds reuse the buffered block of its fetching round).
+        let mut visits = vec![0u64; workload.cluster_sizes.len()];
+        for r in &plan.rounds {
+            visits[r.cluster] += r.queries.len() as u64;
+        }
+        let mut tier = TierTraffic::default();
+        for r in plan.rounds.iter().filter(|r| r.fetches_codes) {
+            let bytes = r.cluster_size as u64 * ebpv;
+            let outcome = cache.touch(r.cluster, bytes, visits[r.cluster]);
+            tier.record(&outcome, bytes);
+        }
+        debug_assert_eq!(tier.total_code_bytes(), report.code_bytes);
+        (report, tier)
+    }
 }
 
 #[cfg(test)]
@@ -234,6 +276,76 @@ mod tests {
         // Results price the final k, not the over-fetched heap.
         assert_eq!(t.result_bytes, 10 * 5);
         assert_eq!(single.result_bytes, 40 * 5);
+    }
+
+    #[test]
+    fn tiered_price_splits_code_bytes_and_matches_base_report() {
+        let params = PlanParams::default();
+        // Two queries over three 10-vector clusters at 64 B/vector.
+        let w = BatchWorkload {
+            shape: SearchShape {
+                d: 128,
+                m: 64,
+                kstar: 256,
+                metric: Metric::L2,
+                num_clusters: 3,
+                k: 10,
+            },
+            cluster_sizes: vec![10, 10, 10],
+            visits: vec![vec![0, 1], vec![1, 2]],
+        };
+        let p = plan(&params, &w, ScmAllocation::InterQuery);
+        let model = TrafficModel::new(params);
+        let base = model.price(&w, &p);
+        // Capacity for exactly one 640 B block: the first fetch admits,
+        // the rest bypass (equal or lower counts), all from disk.
+        let mut cold = crate::ClusterCacheSim::new(640);
+        let (report, tier) = model.price_tiered(&w, &p, &mut cold);
+        assert_eq!(report, base);
+        assert_eq!(tier.total_code_bytes(), base.code_bytes);
+        assert_eq!(tier.disk_code_bytes, base.code_bytes);
+        assert_eq!(tier.cache_hits, 0);
+        // Re-pricing the same plan against the warmed state hits on the
+        // resident block.
+        let (_, warm) = model.price_tiered(&w, &p, &mut cold);
+        assert!(warm.cache_hits >= 1);
+        assert_eq!(
+            warm.cache_code_bytes + warm.disk_code_bytes,
+            base.code_bytes
+        );
+        // An effectively infinite cache serves everything from cache on
+        // the second pass.
+        let mut big = crate::ClusterCacheSim::new(u64::MAX);
+        model.price_tiered(&w, &p, &mut big);
+        let (_, all_cached) = model.price_tiered(&w, &p, &mut big);
+        assert_eq!(all_cached.disk_code_bytes, 0);
+        assert_eq!(all_cached.cache_code_bytes, base.code_bytes);
+    }
+
+    #[test]
+    fn tiered_price_counts_split_cluster_visits_once() {
+        // 40 queries on one cluster split into 3 rounds: one fetch, visit
+        // count 40, and the tier split covers the single fetch only.
+        let params = PlanParams::default();
+        let w = BatchWorkload {
+            shape: SearchShape {
+                d: 128,
+                m: 64,
+                kstar: 256,
+                metric: Metric::L2,
+                num_clusters: 1,
+                k: 10,
+            },
+            cluster_sizes: vec![100],
+            visits: (0..40).map(|_| vec![0]).collect(),
+        };
+        let p = plan(&params, &w, ScmAllocation::InterQuery);
+        assert!(p.rounds.len() > 1);
+        let mut sim = crate::ClusterCacheSim::new(u64::MAX);
+        let (report, tier) = TrafficModel::new(params).price_tiered(&w, &p, &mut sim);
+        assert_eq!(tier.cache_misses, 1);
+        assert_eq!(tier.disk_code_bytes, report.code_bytes);
+        assert_eq!(sim.visit_count(0), 40);
     }
 
     #[test]

@@ -34,13 +34,37 @@ use std::collections::VecDeque;
 use crate::request::Request;
 use anna_index::IvfPqIndex;
 use anna_plan::{
-    BatchPlan, BatchWorkload, PlanParams, RerankPolicy, SearchShape, TileShaper, TrafficModel,
-    TrafficReport,
+    BatchPlan, BatchWorkload, ClusterCacheSim, PlanParams, RerankPolicy, SearchShape, TierTraffic,
+    TileShaper, TrafficModel, TrafficReport,
 };
 use anna_vector::VectorSet;
 
+/// Two-tier pricing for serving over a tiered (disk-backed) index.
+///
+/// When set on [`ServeConfig::tier`], the batcher prices every candidate
+/// shape with [`TrafficModel::price_tiered`] against an evolving clone of
+/// the index's cluster-cache state: quotes split code bytes into
+/// bytes-from-cache and bytes-from-storage, shape selection weighs each
+/// tier by its service rate, and the composer's cache advances batch by
+/// batch exactly as the tiered runtime's will — the same (cluster, bytes,
+/// visits) sequence drives both, which is what keeps the quoted
+/// [`TierTraffic`] equal to what a tiered execution of the schedule
+/// measures (the property the index crate's sharded/tiered tests pin).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TierPricing {
+    /// Service rate for bytes that miss the cache (storage tier), in
+    /// bytes per second. Bytes served from cache keep moving at
+    /// [`ServeConfig::service_bytes_per_sec`].
+    pub disk_bytes_per_sec: u64,
+    /// The cluster-cache policy state of the index the schedule will run
+    /// against, snapshotted at composition start (e.g.
+    /// `TieredIndex::cache_sim`). The composer clones and advances it as
+    /// batches commit.
+    pub cache: ClusterCacheSim,
+}
+
 /// Serving-layer configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeConfig {
     /// Size threshold: a window holding this many requests closes
     /// immediately (once the server is free).
@@ -65,6 +89,11 @@ pub struct ServeConfig {
     /// quotes and deadline predictions, and the executor asserts them
     /// against the measured stats like every first-pass component.
     pub rerank: Option<RerankPolicy>,
+    /// Two-tier serving: when set, shape quotes split code bytes across
+    /// the cache and storage tiers, service-time predictions charge each
+    /// tier at its own rate, and the batcher threads the cluster-cache
+    /// state through the schedule (see [`TierPricing`]).
+    pub tier: Option<TierPricing>,
 }
 
 impl Default for ServeConfig {
@@ -76,6 +105,7 @@ impl Default for ServeConfig {
             service_bytes_per_sec: 4_000_000_000, // ~4 GB/s until calibrated
             shape_candidates: 3,
             rerank: None,
+            tier: None,
         }
     }
 }
@@ -87,6 +117,9 @@ pub struct ShapeQuote {
     pub size: usize,
     /// TrafficModel-predicted total bytes for that prefix's shaped plan.
     pub predicted_bytes: u64,
+    /// Of `predicted_bytes`, the code bytes predicted to come from the
+    /// storage tier (cache misses). Zero when no tier is configured.
+    pub predicted_disk_bytes: u64,
 }
 
 /// One batch the batcher committed to dispatch.
@@ -113,7 +146,13 @@ pub struct PlannedBatch {
     /// executor asserts the measured bytes equal this, component for
     /// component.
     pub predicted: TrafficReport,
-    /// Predicted service time at the configured byte rate.
+    /// Under a tiered config, the predicted cache/storage split of
+    /// `predicted.code_bytes` (with the composer's cache state as of this
+    /// batch); `None` otherwise.
+    pub predicted_tier: Option<TierTraffic>,
+    /// Predicted service time: cache-tier bytes at the configured byte
+    /// rate plus (under a tiered config) storage-tier bytes at the disk
+    /// rate.
     pub predicted_service_ns: u64,
     /// Every candidate shape priced at this close (the chosen one
     /// included), for the report's pricing audit trail.
@@ -165,6 +204,11 @@ struct PrefixPricing {
     k_scan: usize,
     plan: BatchPlan,
     predicted: TrafficReport,
+    /// Tier split of the prediction (tiered configs only).
+    predicted_tier: Option<TierTraffic>,
+    /// The cache state after this prefix would execute; committed to the
+    /// composer when the batch dispatches, discarded otherwise.
+    cache_after: Option<ClusterCacheSim>,
 }
 
 struct Composer<'a> {
@@ -175,6 +219,9 @@ struct Composer<'a> {
     cluster_sizes: Vec<usize>,
     /// Per-trace-index visited-cluster list, computed once on first use.
     visit_cache: Vec<Option<Vec<usize>>>,
+    /// Evolving cluster-cache state under a tiered config: candidate
+    /// pricings clone it, committed batches advance it.
+    cache: Option<ClusterCacheSim>,
 }
 
 impl<'a> Composer<'a> {
@@ -236,7 +283,15 @@ impl<'a> Composer<'a> {
             plan =
                 plan.with_rerank(policy.stage(&workload, k_exec, params.topk_record_bytes as u64));
         }
-        let predicted = TrafficModel::new(params).price(&workload, &plan);
+        let model = TrafficModel::new(params);
+        let (predicted, predicted_tier, cache_after) = match &self.cache {
+            Some(state) => {
+                let mut sim = state.clone();
+                let (report, tier) = model.price_tiered(&workload, &plan, &mut sim);
+                (report, Some(tier), Some(sim))
+            }
+            None => (model.price(&workload, &plan), None, None),
+        };
         (
             workload,
             PrefixPricing {
@@ -244,13 +299,42 @@ impl<'a> Composer<'a> {
                 k_scan,
                 plan,
                 predicted,
+                predicted_tier,
+                cache_after,
             },
         )
     }
 
-    fn service_ns(&self, bytes: u64) -> u64 {
+    /// Predicted service time for a priced batch: cache-tier bytes at
+    /// `service_bytes_per_sec` plus storage-tier bytes at the configured
+    /// disk rate (the whole prediction at the base rate when untiered).
+    fn service_ns(&self, predicted: &TrafficReport, tier: Option<&TierTraffic>) -> u64 {
+        let total = predicted.total();
+        let disk = tier.map_or(0, |t| t.disk_code_bytes).min(total);
         let rate = self.cfg.service_bytes_per_sec.max(1) as u128;
-        ((bytes as u128 * 1_000_000_000).div_ceil(rate)) as u64
+        let mut ns = ((total - disk) as u128 * 1_000_000_000).div_ceil(rate);
+        if let Some(tp) = &self.cfg.tier {
+            let disk_rate = tp.disk_bytes_per_sec.max(1) as u128;
+            ns += (disk as u128 * 1_000_000_000).div_ceil(disk_rate);
+        }
+        ns.min(u64::MAX as u128) as u64
+    }
+
+    /// The shape-selection cost of a quote. Untiered, it is the predicted
+    /// total bytes; tiered, each tier's bytes are weighted by the *other*
+    /// tier's rate (the common-denominator form of the predicted service
+    /// time), so selection stays pure integer arithmetic and reduces to
+    /// bytes-per-query when the tiers move at one rate.
+    fn shape_cost(&self, q: &ShapeQuote) -> u128 {
+        match &self.cfg.tier {
+            None => q.predicted_bytes as u128,
+            Some(tp) => {
+                let disk = q.predicted_disk_bytes.min(q.predicted_bytes);
+                let ram = (q.predicted_bytes - disk) as u128;
+                ram * tp.disk_bytes_per_sec.max(1) as u128
+                    + disk as u128 * self.cfg.service_bytes_per_sec.max(1) as u128
+            }
+        }
     }
 }
 
@@ -297,6 +381,7 @@ pub fn compose(
         cfg,
         cluster_sizes: index.cluster_sizes(),
         visit_cache: vec![None; trace.len()],
+        cache: cfg.tier.as_ref().map(|t| t.cache.clone()),
     };
     let mut admissions: Vec<Option<Admission>> = vec![None; trace.len()];
     let mut batches: Vec<PlannedBatch> = Vec::new();
@@ -326,14 +411,15 @@ pub fn compose(
             quotes.push(ShapeQuote {
                 size,
                 predicted_bytes: p.predicted.total(),
+                predicted_disk_bytes: p.predicted_tier.map_or(0, |t| t.disk_code_bytes),
             });
             priced.push(p);
         }
         let mut best = 0usize;
         for i in 1..quotes.len() {
             let (a, b) = (&quotes[i], &quotes[best]);
-            let lhs = a.predicted_bytes as u128 * b.size as u128;
-            let rhs = b.predicted_bytes as u128 * a.size as u128;
+            let lhs = composer.shape_cost(a) * b.size as u128;
+            let rhs = composer.shape_cost(b) * a.size as u128;
             if lhs < rhs || (lhs == rhs && a.size > b.size) {
                 best = i;
             }
@@ -345,7 +431,7 @@ pub fn compose(
         // Deadline filter: drop requests whose predicted completion is
         // already past their deadline, then re-price the survivors once
         // (the dropped requests shrink the plan, never grow it).
-        let mut service = composer.service_ns(pricing.predicted.total());
+        let mut service = composer.service_ns(&pricing.predicted, pricing.predicted_tier.as_ref());
         let predicted_done = close.saturating_add(service);
         let survivors: Vec<usize> = chosen
             .iter()
@@ -363,7 +449,7 @@ pub fn compose(
             if !survivors.is_empty() {
                 let (_, p) = composer.price(&survivors);
                 pricing = p;
-                service = composer.service_ns(pricing.predicted.total());
+                service = composer.service_ns(&pricing.predicted, pricing.predicted_tier.as_ref());
             }
             chosen = survivors;
         }
@@ -376,6 +462,12 @@ pub fn compose(
             for &i in &chosen {
                 admissions[i] = Some(Admission::Dispatched { batch: seq });
             }
+            // The committed batch advances the composer's cache so the
+            // next window is quoted against the state the tiered runtime
+            // will actually be in.
+            if let Some(after) = pricing.cache_after.take() {
+                composer.cache = Some(after);
+            }
             batches.push(PlannedBatch {
                 seq,
                 open_ns: open,
@@ -385,6 +477,7 @@ pub fn compose(
                 k_scan: pricing.k_scan,
                 plan: pricing.plan,
                 predicted: pricing.predicted,
+                predicted_tier: pricing.predicted_tier,
                 predicted_service_ns: service,
                 quotes,
             });

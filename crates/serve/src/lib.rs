@@ -44,6 +44,8 @@ pub mod batcher;
 pub mod request;
 pub mod server;
 
-pub use batcher::{compose, Admission, BatchSchedule, PlannedBatch, ServeConfig, ShapeQuote};
+pub use batcher::{
+    compose, Admission, BatchSchedule, PlannedBatch, ServeConfig, ShapeQuote, TierPricing,
+};
 pub use request::{Outcome, Request};
 pub use server::{calibrate_service_rate, execute, BatchReport, LatencySummary, ServeReport};

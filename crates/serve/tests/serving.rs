@@ -6,7 +6,8 @@
 use anna_index::{
     IvfPqConfig, IvfPqIndex, LutPrecision, RerankMode, RerankPolicy, RerankPrecision, SearchParams,
 };
-use anna_serve::{compose, execute, Admission, Outcome, Request, ServeConfig};
+use anna_plan::ClusterCacheSim;
+use anna_serve::{compose, execute, Admission, Outcome, Request, ServeConfig, TierPricing};
 use anna_telemetry::Telemetry;
 use anna_testkit::{forall, TestRng};
 use anna_vector::{Metric, VectorSet};
@@ -60,6 +61,7 @@ fn serve_cfg(rng: &mut TestRng) -> ServeConfig {
         service_bytes_per_sec: rng.u64(1_000_000..4_000_000_000),
         shape_candidates: rng.usize(1..4),
         rerank: None,
+        tier: None,
     }
 }
 
@@ -364,6 +366,7 @@ fn size_threshold_closes_before_max_wait() {
         service_bytes_per_sec: 4_000_000_000,
         shape_candidates: 1,
         rerank: None,
+        tier: None,
     };
     let schedule = compose(&index, &data, &trace, &cfg);
     assert_eq!(schedule.batches.len(), 1);
@@ -396,4 +399,147 @@ fn max_wait_bounds_a_lone_request() {
     let schedule = compose(&index, &data, &trace, &cfg);
     assert_eq!(schedule.batches.len(), 1);
     assert_eq!(schedule.batches[0].dispatch_ns, 7_000 + 250_000);
+}
+
+/// Untiered configs quote no tier split: `predicted_tier` is `None` and
+/// every candidate shape's disk bytes are zero.
+#[test]
+fn untiered_configs_quote_no_tier_split() {
+    let (data, index) = build(Metric::L2, 17);
+    let mut rng = TestRng::new(0xD15C);
+    let trace = arb_trace(&mut rng, 24, data.len());
+    let schedule = compose(&index, &data, &trace, &ServeConfig::default());
+    assert!(!schedule.batches.is_empty());
+    for b in &schedule.batches {
+        assert!(b.predicted_tier.is_none());
+        assert!(b.quotes.iter().all(|q| q.predicted_disk_bytes == 0));
+    }
+}
+
+/// Tiered composition splits every quote's code bytes across the two
+/// tiers, exactly covers the base prediction, and replays identically.
+#[test]
+fn tiered_quotes_split_code_bytes_across_tiers() {
+    forall("tiered quotes split bytes", 6, |rng| {
+        let (data, index) = build(*rng.pick(&[Metric::L2, Metric::InnerProduct]), 23);
+        let n = rng.usize(12..40);
+        let trace = arb_trace(rng, n, data.len());
+        let capacity = rng.u64(0..40_000);
+        let cfg = ServeConfig {
+            tier: Some(TierPricing {
+                disk_bytes_per_sec: rng.u64(1_000_000..100_000_000),
+                cache: ClusterCacheSim::new(capacity),
+            }),
+            ..serve_cfg(rng)
+        };
+        let schedule = compose(&index, &data, &trace, &cfg);
+        for b in &schedule.batches {
+            let tier = b.predicted_tier.expect("tiered config must quote a split");
+            assert_eq!(
+                tier.total_code_bytes(),
+                b.predicted.code_bytes,
+                "batch {}: tier split must cover the code bytes",
+                b.seq
+            );
+            for q in &b.quotes {
+                assert!(q.predicted_disk_bytes <= q.predicted_bytes);
+            }
+            if capacity == 0 {
+                assert_eq!(tier.disk_code_bytes, b.predicted.code_bytes);
+                assert_eq!(tier.cache_hits, 0);
+            }
+        }
+        // Tiered composition is as replayable as untiered composition.
+        assert_eq!(
+            schedule,
+            compose(&index, &data, &trace, &cfg),
+            "tiered batcher is not replayable"
+        );
+    });
+}
+
+/// The composer's cache warms across batches: a repetitive trace over a
+/// large cache pays storage-tier bytes on the first dispatch only, while
+/// a zero-capacity cache pays them on every dispatch.
+#[test]
+fn cache_warming_moves_later_batches_off_the_storage_tier() {
+    let (data, index) = build(Metric::L2, 29);
+    // One identical request per second: every batch visits the same
+    // clusters, and the huge gaps make each request its own batch under
+    // any service-time prediction.
+    let trace: Vec<Request> = (0..6)
+        .map(|i| Request {
+            id: i,
+            query_row: 42,
+            k: 5,
+            nprobe: 4,
+            arrival_ns: 1_000_000_000 * (i + 1),
+            deadline_ns: u64::MAX,
+        })
+        .collect();
+    let with_capacity = |cap: u64| ServeConfig {
+        max_wait_ns: 100_000,
+        tier: Some(TierPricing {
+            disk_bytes_per_sec: 100_000_000,
+            cache: ClusterCacheSim::new(cap),
+        }),
+        ..ServeConfig::default()
+    };
+    let cold = compose(&index, &data, &trace, &with_capacity(0));
+    let warm = compose(&index, &data, &trace, &with_capacity(u64::MAX));
+    assert_eq!(cold.batches.len(), trace.len());
+    assert_eq!(warm.batches.len(), trace.len());
+    for (i, (c, w)) in cold.batches.iter().zip(&warm.batches).enumerate() {
+        assert_eq!(c.predicted.code_bytes, w.predicted.code_bytes, "batch {i}");
+        let (ct, wt) = (c.predicted_tier.unwrap(), w.predicted_tier.unwrap());
+        assert_eq!(ct.disk_code_bytes, c.predicted.code_bytes, "cold batch {i}");
+        if i == 0 {
+            assert_eq!(wt.disk_code_bytes, w.predicted.code_bytes);
+        } else {
+            assert_eq!(wt.disk_code_bytes, 0, "warm batch {i} should hit");
+            assert_eq!(wt.cache_code_bytes, w.predicted.code_bytes);
+            // A cache hit is quoted as strictly faster service than the
+            // same bytes ground through the slow storage tier.
+            assert!(w.predicted_service_ns < c.predicted_service_ns, "batch {i}");
+        }
+    }
+}
+
+/// The tiered service-time prediction charges each tier at its own rate:
+/// `ceil(ram_bytes / ram_rate) + ceil(disk_bytes / disk_rate)`.
+#[test]
+fn tier_service_time_adds_the_storage_term() {
+    let (data, index) = build(Metric::L2, 31);
+    let trace = vec![Request {
+        id: 0,
+        query_row: 7,
+        k: 5,
+        nprobe: 4,
+        arrival_ns: 1_000,
+        deadline_ns: u64::MAX,
+    }];
+    let ram_rate = 4_000_000_000u64;
+    let disk_rate = 10_000_000u64;
+    let base_cfg = ServeConfig {
+        service_bytes_per_sec: ram_rate,
+        ..ServeConfig::default()
+    };
+    let tier_cfg = ServeConfig {
+        tier: Some(TierPricing {
+            disk_bytes_per_sec: disk_rate,
+            cache: ClusterCacheSim::new(0),
+        }),
+        ..base_cfg.clone()
+    };
+    let plain = compose(&index, &data, &trace, &base_cfg);
+    let tiered = compose(&index, &data, &trace, &tier_cfg);
+    let (p, t) = (&plain.batches[0], &tiered.batches[0]);
+    assert_eq!(p.predicted, t.predicted, "pricing itself is tier-agnostic");
+    let disk = t.predicted_tier.unwrap().disk_code_bytes;
+    assert!(disk > 0);
+    let want = ((t.predicted.total() - disk) as u128 * 1_000_000_000).div_ceil(ram_rate as u128)
+        as u64
+        + (disk as u128 * 1_000_000_000).div_ceil(disk_rate as u128) as u64;
+    assert_eq!(t.predicted_service_ns, want);
+    assert!(t.predicted_service_ns > p.predicted_service_ns);
 }
