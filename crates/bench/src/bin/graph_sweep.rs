@@ -1,0 +1,60 @@
+//! Sweeps the graph engine's beam width next to IVF-PQ's nprobe on one
+//! dataset and writes the two recall-vs-bytes frontiers.
+//!
+//! Every point runs through the shared `SearchEngine` pipeline and is
+//! gated on predicted == measured traffic and on bit-identical results
+//! across {1, 2, 4} threads; the binary exits non-zero if either gate
+//! fails at any point. Writes `reports/graph_sweep.json`.
+//!
+//! With `--smoke`, a smaller database runs in seconds and writes
+//! `graph_sweep_smoke.json` — the CI per-commit check.
+
+use anna_bench::{graph_sweep, write_report};
+
+fn main() {
+    let mut smoke = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: graph_sweep [--smoke]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let (db_n, nq, report): (usize, usize, &str) = if smoke {
+        (2_000, 16, "graph_sweep_smoke")
+    } else {
+        (12_000, 48, "graph_sweep")
+    };
+    eprintln!("building graph and IVF-PQ over {db_n} vectors, sweeping {nq} queries");
+    let sweep = graph_sweep::run(db_n, nq);
+    print!("{}", sweep.render());
+    match write_report(report, &sweep.to_json()) {
+        Ok(path) => eprintln!("report written to {}", path.display()),
+        Err(e) => eprintln!("could not write report: {e}"),
+    }
+    // Gates checked last so the report is on disk for the post-mortem
+    // when one trips.
+    if !sweep.all_traffic_match() {
+        let bad: Vec<&str> = sweep
+            .points
+            .iter()
+            .filter(|p| !p.traffic_match)
+            .map(|p| p.label.as_str())
+            .collect();
+        eprintln!("predicted != measured at {bad:?}");
+        std::process::exit(1);
+    }
+    if !sweep.all_deterministic() {
+        let bad: Vec<&str> = sweep
+            .points
+            .iter()
+            .filter(|p| !p.deterministic)
+            .map(|p| p.label.as_str())
+            .collect();
+        eprintln!("thread counts diverged at {bad:?}");
+        std::process::exit(1);
+    }
+}

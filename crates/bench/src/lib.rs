@@ -19,6 +19,7 @@
 //! | [`serving_sweep`] / `--bin serving_sweep` | online serving: latency vs offered load ([`openloop`] arrivals through `anna-serve`) |
 //! | [`rerank_sweep`] / `--bin rerank_sweep` | two-phase re-rank: fixed-precision vs adaptive bytes/recall frontier |
 //! | [`tiered_sweep`] / `--bin tiered_sweep` | sharded tiered engine: QPS + bytes-from-storage vs cluster-cache capacity |
+//! | [`graph_sweep`] / `--bin graph_sweep` | graph vs IVF-PQ recall-vs-bytes frontiers through the shared `SearchEngine` pipeline |
 //! | `--bin runall` | everything above, writing `reports/*.json` |
 //!
 //! Binaries accept `--full` for the full-scale profile (see
@@ -33,6 +34,7 @@ pub mod configs;
 pub mod fig10;
 pub mod fig8;
 pub mod fig9;
+pub mod graph_sweep;
 pub mod harness;
 pub mod json;
 pub mod kernels_sweep;

@@ -29,7 +29,7 @@ use std::time::Instant;
 use anna_index::{
     BatchedScan, IvfPqConfig, IvfPqIndex, RerankMode, RerankPolicy, RerankPrecision, SearchParams,
 };
-use anna_plan::{PlanParams, TrafficModel, CLUSTER_META_BYTES};
+use anna_plan::{PlanParams, TrafficModel};
 use anna_telemetry::Telemetry;
 use anna_vector::{exact, Metric, Neighbor, VectorSet};
 
@@ -236,12 +236,11 @@ pub fn run(db_n: usize, nq_fine: usize, nq_coarse: usize, targets: &[f64]) -> Re
             bytes_per_query: predicted.total() as f64 / nq as f64,
             rerank_bytes_per_query: 0.0,
             escalated: 0,
-            traffic_match: stats.code_bytes == predicted.code_bytes
-                && stats.clusters_fetched * CLUSTER_META_BYTES == predicted.cluster_meta_bytes
-                && stats.topk_spill_bytes == predicted.topk_spill_bytes
-                && stats.topk_fill_bytes == predicted.topk_fill_bytes
-                && stats.rerank_candidate_bytes == predicted.rerank_candidate_bytes
-                && stats.rerank_vector_bytes == predicted.rerank_vector_bytes,
+            traffic_match: anna_testkit::traffic_match(
+                "rerank_sweep/single",
+                &stats.to_measured().components(&predicted),
+            )
+            .is_ok(),
             qps: nq as f64 / secs,
         });
     }
@@ -278,12 +277,11 @@ pub fn run(db_n: usize, nq_fine: usize, nq_coarse: usize, targets: &[f64]) -> Re
                     + predicted.rerank_vector_bytes) as f64
                     / nq as f64,
                 escalated,
-                traffic_match: stats.code_bytes == predicted.code_bytes
-                    && stats.clusters_fetched * CLUSTER_META_BYTES == predicted.cluster_meta_bytes
-                    && stats.topk_spill_bytes == predicted.topk_spill_bytes
-                    && stats.topk_fill_bytes == predicted.topk_fill_bytes
-                    && stats.rerank_candidate_bytes == predicted.rerank_candidate_bytes
-                    && stats.rerank_vector_bytes == predicted.rerank_vector_bytes,
+                traffic_match: anna_testkit::traffic_match(
+                    &format!("rerank_sweep/{mode_name}@a{alpha}"),
+                    &stats.to_measured().components(&predicted),
+                )
+                .is_ok(),
                 qps: nq as f64 / secs,
             });
         }

@@ -16,6 +16,7 @@
 //! point show what intensity shape does to the tail at the same average
 //! load.
 
+use anna_engine::QuerySpec;
 use anna_index::{IvfPqConfig, IvfPqIndex, LutPrecision, SearchParams};
 use anna_plan::{PlanParams, TrafficModel};
 use anna_serve::{calibrate_service_rate, compose, execute, ServeConfig};
@@ -127,8 +128,12 @@ pub fn run(db_n: usize, requests: usize, load_fractions: &[f64]) -> ServingSweep
         k: 10,
         lut_precision: LutPrecision::F32,
     };
-    let service_bytes_per_sec = calibrate_service_rate(&index, &probe, &probe_params, threads);
     let scan = anna_index::BatchedScan::new(&index);
+    let probe_spec = QuerySpec {
+        k: probe_params.k,
+        scope: probe_params.nprobe,
+    };
+    let service_bytes_per_sec = calibrate_service_rate(&scan, &probe, &probe_spec, threads);
     let probe_bytes = TrafficModel::new(PlanParams::default())
         .price(
             &scan.workload(&probe, &probe_params),
@@ -184,17 +189,8 @@ pub fn run(db_n: usize, requests: usize, load_fractions: &[f64]) -> ServingSweep
             deadline_ns,
             query_pool: pool,
         });
-        let schedule = compose(&index, &queries, &trace, &serve_config);
-        let report = execute(
-            &index,
-            &queries,
-            &trace,
-            &schedule,
-            threads,
-            LutPrecision::F32,
-            None,
-            &tel,
-        );
+        let schedule = compose(&scan, &queries, &trace, &serve_config);
+        let report = execute(&scan, &queries, &trace, &schedule, threads, &tel);
         let makespan_ns = schedule
             .server_free_ns
             .max(trace.last().map_or(0, |r| r.arrival_ns))

@@ -179,10 +179,10 @@ pub fn run(db_n: usize, batches: usize, queries_per_batch: usize) -> TieredSweep
             let (res, stats) = tiered.search_batch(qs, &params, threads).unwrap();
             elapsed += start.elapsed().as_secs_f64();
             identical &= res == *want_res && stats.batch == want_stats.batch;
-            traffic_match &= predicted.tier == stats.tier
-                && predicted.traffic.code_bytes == stats.batch.code_bytes
-                && predicted.traffic.topk_spill_bytes == stats.batch.topk_spill_bytes
-                && predicted.traffic.topk_fill_bytes == stats.batch.topk_fill_bytes
+            let measured = stats.to_measured();
+            let mut components = measured.components(&predicted.traffic);
+            components.extend(measured.tier_components(&predicted.tier));
+            traffic_match &= anna_testkit::traffic_match("tiered_sweep", &components).is_ok()
                 && stats.tier.total_code_bytes() == stats.batch.code_bytes;
             tier.accumulate(&stats.tier);
         }

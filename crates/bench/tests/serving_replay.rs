@@ -4,7 +4,7 @@
 //! any batch in a serving report re-derivable offline.
 
 use anna_bench::openloop::{generate, ArrivalProfile, OpenLoopConfig};
-use anna_index::{IvfPqConfig, IvfPqIndex};
+use anna_index::{BatchedScan, IvfPqConfig, IvfPqIndex};
 use anna_serve::{compose, ServeConfig};
 use anna_testkit::{forall, TestRng};
 use anna_vector::{Metric, VectorSet};
@@ -72,8 +72,8 @@ fn seeded_trace_replays_to_identical_batch_compositions() {
 
         // Identical trace → identical batch compositions, plans, priced
         // quotes, and admission decisions.
-        let a = compose(&index, &pool, &trace, &serve_cfg);
-        let b = compose(&index, &pool, &trace, &serve_cfg);
+        let a = compose(&BatchedScan::new(&index), &pool, &trace, &serve_cfg);
+        let b = compose(&BatchedScan::new(&index), &pool, &trace, &serve_cfg);
         assert_eq!(a, b, "batcher is not replayable");
 
         // The schedule is internally consistent: batches are disjoint,

@@ -126,6 +126,16 @@ impl<'a> BatchedScan<'a> {
         }
     }
 
+    /// The index this scanner executes over.
+    pub fn index(&self) -> &IvfPqIndex {
+        self.index
+    }
+
+    /// The re-rank source, when the scanner can execute two-phase plans.
+    pub fn rerank_db(&self) -> Option<&VectorSet> {
+        self.rerank_db
+    }
+
     /// Resolves each query's cluster list and inverts it: entry `c` of the
     /// result lists the queries visiting cluster `c` (the "array of arrays"
     /// ANNA keeps in main memory, Section IV-A).

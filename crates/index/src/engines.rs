@@ -1,0 +1,378 @@
+//! [`SearchEngine`] implementations for the IVF-PQ engines: the
+//! cluster-major [`BatchedScan`] (single-phase and two-phase re-rank) and
+//! the shard-parallel [`ShardedIndex`] (RAM or tiered shards).
+//!
+//! Both impls are thin adapters: `plan()` builds exactly the schedule the
+//! concrete entry points already build (the serving batcher's shaped plan
+//! for [`BatchedScan`], the unbounded per-shard plans of
+//! [`ShardedIndex::price_batch`] for the sharded engine), and `execute()`
+//! delegates to [`BatchedScan::run_plan`] / [`ShardedIndex::search_batch`]
+//! — so trait-path results and stats are bit-identical to the concrete
+//! paths, and the headline predicted == measured invariant carries over
+//! unchanged.
+
+use crate::batched::{BatchStats, BatchedScan};
+use crate::shard::{ShardedIndex, ShardedStats};
+use crate::{LutPrecision, SearchParams};
+use anna_engine::{EngineRun, MeasuredTraffic, PlanOptions, QuerySpec, SearchEngine};
+use anna_plan::{
+    BatchPlan, BatchWorkload, EnginePlan, PlanParams, SearchShape, TileShaper, CLUSTER_META_BYTES,
+};
+use anna_telemetry::Telemetry;
+use anna_vector::{Metric, VectorSet};
+
+impl BatchStats {
+    /// The engine layer's view of these counters: the six compared byte
+    /// components, with cluster descriptors priced at
+    /// [`CLUSTER_META_BYTES`] per fetch (no storage tier — the plain
+    /// batch engine is all-RAM).
+    pub fn to_measured(&self) -> MeasuredTraffic {
+        MeasuredTraffic {
+            code_bytes: self.code_bytes,
+            cluster_meta_bytes: self.clusters_fetched * CLUSTER_META_BYTES,
+            topk_spill_bytes: self.topk_spill_bytes,
+            topk_fill_bytes: self.topk_fill_bytes,
+            rerank_candidate_bytes: self.rerank_candidate_bytes,
+            rerank_vector_bytes: self.rerank_vector_bytes,
+            tier: None,
+        }
+    }
+}
+
+impl ShardedStats {
+    /// The engine layer's view of a sharded batch: the cluster-major
+    /// counters plus the measured storage-tier split.
+    pub fn to_measured(&self) -> MeasuredTraffic {
+        MeasuredTraffic {
+            tier: Some(self.tier),
+            ..self.batch.to_measured()
+        }
+    }
+}
+
+/// The cluster-major IVF-PQ batch engine behind the shared trait.
+///
+/// `plan()` builds the serving batcher's schedule: the batch-wide result
+/// count is the largest requested `k` (every query runs at it and
+/// per-request truncation is the caller's concern), the first-pass heap
+/// runs at `policy.k_first(k_exec)` under a re-rank policy, and the round
+/// schedule is the cost-shaped [`BatchPlan::shaped_from_visitors`] tiling
+/// — byte-for-byte what [`crate::BatchedScan::default_plan`] and the
+/// `anna-serve` composer produce.
+///
+/// `execute()` pins the lookup tables to [`LutPrecision::F32`] (the CPU
+/// reference precision; mixed-precision paths stay on the concrete
+/// [`BatchedScan::run_plan`] API).
+impl SearchEngine for BatchedScan<'_> {
+    fn name(&self) -> &'static str {
+        "ivf_pq"
+    }
+
+    fn dim(&self) -> usize {
+        self.index().dim()
+    }
+
+    fn metric(&self) -> Metric {
+        self.index().metric()
+    }
+
+    fn query_scope(&self, q: &[f32], spec: &QuerySpec) -> Vec<usize> {
+        self.index().filter_clusters(q, spec.scope)
+    }
+
+    fn plan(
+        &self,
+        queries: &VectorSet,
+        specs: &[QuerySpec],
+        scopes: &[Vec<usize>],
+        options: &PlanOptions,
+    ) -> EnginePlan {
+        assert_eq!(specs.len(), queries.len(), "one spec per query");
+        assert_eq!(scopes.len(), queries.len(), "one scope per query");
+        let k_exec = specs.iter().map(|s| s.k).max().unwrap_or(1).max(1);
+        // Two-phase plans over-fetch: the engine's heaps (and therefore
+        // the workload shape and the spill unit) run at the first-pass k.
+        let k_scan = options
+            .rerank
+            .map_or(k_exec, |policy| policy.k_first(k_exec));
+        let book = self.index().codebook();
+        let workload = BatchWorkload {
+            shape: SearchShape {
+                d: self.index().dim(),
+                m: book.m(),
+                kstar: book.kstar(),
+                metric: self.index().metric(),
+                num_clusters: self.index().num_clusters(),
+                k: k_scan,
+            },
+            cluster_sizes: self.index().cluster_sizes(),
+            visits: scopes.to_vec(),
+        };
+        let params = PlanParams::default();
+        let spill_unit = k_scan as u64 * params.topk_record_bytes as u64;
+        let mut plan = BatchPlan::shaped_from_visitors(
+            &workload.visitors_per_cluster(),
+            &workload.cluster_sizes,
+            workload.shape.encoded_bytes_per_vector(),
+            &TileShaper::default(),
+            spill_unit,
+        );
+        if let Some(policy) = options.rerank {
+            plan =
+                plan.with_rerank(policy.stage(&workload, k_exec, params.topk_record_bytes as u64));
+        }
+        EnginePlan::ClusterMajor { workload, plan }
+    }
+
+    fn execute(
+        &self,
+        queries: &VectorSet,
+        plan: &EnginePlan,
+        threads: usize,
+        tel: &Telemetry,
+    ) -> EngineRun {
+        let EnginePlan::ClusterMajor { workload, plan } = plan else {
+            panic!("ivf_pq engine received a {} plan", plan.engine());
+        };
+        let params = SearchParams {
+            // The plan already fixes the rounds; nprobe is inert here.
+            nprobe: 0,
+            k: workload.shape.k,
+            lut_precision: LutPrecision::F32,
+        };
+        let (results, stats) = self.run_plan(queries, &params, plan, threads.max(1), tel);
+        EngineRun {
+            results,
+            measured: stats.to_measured(),
+        }
+    }
+}
+
+/// The shard-parallel IVF-PQ engine behind the shared trait.
+///
+/// Requires a *uniform* batch (every spec the same `k` and scope — the
+/// sharded entry points take one [`SearchParams`] per batch) and no
+/// re-rank policy. `plan()` assembles the [`anna_plan::ShardedBatchPlan`]
+/// that [`ShardedIndex::price_batch`] prices — per-shard unbounded
+/// cluster-major plans, the cross-shard merge units, and the tier split
+/// replayed against clones of the live cache states — so pricing the plan
+/// never advances the tiered shards.
+///
+/// # Panics
+///
+/// `plan()` panics on non-uniform specs or a re-rank policy; `execute()`
+/// panics if a tiered shard's storage read fails (the trait path has no
+/// error channel — use [`ShardedIndex::search_batch`] directly to handle
+/// storage errors).
+impl SearchEngine for ShardedIndex {
+    fn name(&self) -> &'static str {
+        "ivf_pq_sharded"
+    }
+
+    fn dim(&self) -> usize {
+        ShardedIndex::dim(self)
+    }
+
+    fn metric(&self) -> Metric {
+        ShardedIndex::metric(self)
+    }
+
+    fn query_scope(&self, q: &[f32], spec: &QuerySpec) -> Vec<usize> {
+        self.filter_clusters(q, spec.scope)
+    }
+
+    fn plan(
+        &self,
+        queries: &VectorSet,
+        specs: &[QuerySpec],
+        scopes: &[Vec<usize>],
+        options: &PlanOptions,
+    ) -> EnginePlan {
+        assert_eq!(specs.len(), queries.len(), "one spec per query");
+        assert_eq!(scopes.len(), queries.len(), "one scope per query");
+        assert!(
+            options.rerank.is_none(),
+            "the sharded engine has no re-rank phase"
+        );
+        let first = specs
+            .first()
+            .copied()
+            .unwrap_or(QuerySpec { k: 1, scope: 1 });
+        assert!(
+            specs.iter().all(|s| *s == first),
+            "the sharded engine requires a uniform batch (one k and scope)"
+        );
+        EnginePlan::Sharded(self.engine_batch_plan(scopes, first.k, first.scope))
+    }
+
+    fn execute(
+        &self,
+        queries: &VectorSet,
+        plan: &EnginePlan,
+        threads: usize,
+        _tel: &Telemetry,
+    ) -> EngineRun {
+        let EnginePlan::Sharded(p) = plan else {
+            panic!("ivf_pq_sharded engine received a {} plan", plan.engine());
+        };
+        let params = SearchParams {
+            nprobe: p.nprobe,
+            k: p.k,
+            lut_precision: LutPrecision::F32,
+        };
+        let (results, stats) = self
+            .search_batch(queries, &params, threads.max(1))
+            .expect("tiered shard storage read failed");
+        EngineRun {
+            results,
+            measured: stats.to_measured(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ivf::{IvfPqConfig, IvfPqIndex};
+    use anna_engine::run_pipeline;
+    use anna_plan::{RerankMode, RerankPolicy, RerankPrecision};
+
+    fn clustered(dim: usize, n: usize) -> VectorSet {
+        VectorSet::from_fn(dim, n, |r, c| {
+            (r % 9) as f32 * 16.0 + ((r * 31 + c * 7) % 11) as f32 * 0.3
+        })
+    }
+
+    fn build(metric: Metric) -> (VectorSet, IvfPqIndex) {
+        let data = clustered(8, 540);
+        let index = IvfPqIndex::build(
+            &data,
+            &IvfPqConfig {
+                metric,
+                num_clusters: 12,
+                m: 4,
+                kstar: 16,
+                ..IvfPqConfig::default()
+            },
+        );
+        (data, index)
+    }
+
+    #[test]
+    fn trait_path_is_bit_identical_to_run_and_verifies() {
+        for metric in [Metric::L2, Metric::InnerProduct] {
+            let (data, index) = build(metric);
+            let queries = data.gather(&(0..24).map(|i| i * 17 % 540).collect::<Vec<_>>());
+            let scan = BatchedScan::new(&index);
+            let params = SearchParams {
+                nprobe: 4,
+                k: 5,
+                lut_precision: LutPrecision::F32,
+            };
+            let (want, want_stats) = scan.run(&queries, &params);
+            let spec = QuerySpec { k: 5, scope: 4 };
+            let (plan, predicted, run) = run_pipeline(
+                &scan,
+                &queries,
+                &spec,
+                &PlanOptions::default(),
+                4,
+                &Telemetry::disabled(),
+            )
+            .expect("predicted must equal measured");
+            assert_eq!(plan.engine(), "ivf_pq");
+            assert_eq!(run.results, want, "{metric:?} trait path diverged");
+            assert_eq!(run.measured, want_stats.to_measured());
+            assert_eq!(predicted.code_bytes, want_stats.code_bytes);
+        }
+    }
+
+    #[test]
+    fn trait_path_two_phase_matches_run_two_phase() {
+        let (data, index) = build(Metric::L2);
+        let queries = data.gather(&(0..16).collect::<Vec<_>>());
+        let scan = BatchedScan::with_rerank_db(&index, &data);
+        let policy = RerankPolicy {
+            mode: RerankMode::Fixed(RerankPrecision::F32),
+            alpha: 4,
+        };
+        let params = SearchParams {
+            nprobe: 4,
+            k: 3,
+            lut_precision: LutPrecision::F32,
+        };
+        let (want, want_stats) = scan.run_two_phase(
+            &queries,
+            &params,
+            &policy,
+            &crate::parallel::BatchExec::with_threads(2),
+            &Telemetry::disabled(),
+        );
+        let spec = QuerySpec { k: 3, scope: 4 };
+        let options = PlanOptions {
+            rerank: Some(policy),
+        };
+        let (plan, _, run) =
+            run_pipeline(&scan, &queries, &spec, &options, 2, &Telemetry::disabled())
+                .expect("two-phase predicted must equal measured");
+        assert_eq!(plan.k_exec(), 3);
+        assert_eq!(plan.k_scan(), policy.k_first(3));
+        assert_eq!(run.results, want);
+        assert_eq!(
+            run.measured.rerank_vector_bytes,
+            want_stats.rerank_vector_bytes
+        );
+        assert!(run.measured.rerank_vector_bytes > 0);
+    }
+
+    #[test]
+    fn sharded_trait_path_matches_search_batch_and_price_batch() {
+        let (data, index) = build(Metric::L2);
+        let queries = data.gather(&(0..20).collect::<Vec<_>>());
+        let sharded = ShardedIndex::from_index(&index, 3);
+        let params = SearchParams {
+            nprobe: 5,
+            k: 4,
+            lut_precision: LutPrecision::F32,
+        };
+        let (want, want_stats) = sharded.search_batch(&queries, &params, 4).unwrap();
+        let legacy = sharded.price_batch(&queries, &params);
+        let spec = QuerySpec { k: 4, scope: 5 };
+        let (plan, predicted, run) = run_pipeline(
+            &sharded,
+            &queries,
+            &spec,
+            &PlanOptions::default(),
+            4,
+            &Telemetry::disabled(),
+        )
+        .expect("sharded predicted must equal measured");
+        assert_eq!(plan.engine(), "ivf_pq_sharded");
+        assert_eq!(run.results, want);
+        assert_eq!(run.measured, want_stats.to_measured());
+        assert_eq!(predicted, legacy.traffic, "trait price == price_batch");
+        // The tier split rides the plan; verify it against the measurement.
+        let EnginePlan::Sharded(ref sp) = plan else {
+            unreachable!()
+        };
+        assert_eq!(sp.predicted_tier, want_stats.tier);
+        sharded
+            .verify(&predicted, Some(&sp.predicted_tier), &run.measured)
+            .expect("tier components must match");
+    }
+
+    #[test]
+    #[should_panic(expected = "uniform batch")]
+    fn sharded_engine_rejects_mixed_specs() {
+        let (data, index) = build(Metric::L2);
+        let queries = data.gather(&[0, 1]);
+        let sharded = ShardedIndex::from_index(&index, 2);
+        let specs = [QuerySpec { k: 2, scope: 3 }, QuerySpec { k: 4, scope: 3 }];
+        let scopes: Vec<Vec<usize>> = queries
+            .iter()
+            .zip(&specs)
+            .map(|(q, s)| SearchEngine::query_scope(&sharded, q, s))
+            .collect();
+        SearchEngine::plan(&sharded, &queries, &specs, &scopes, &PlanOptions::default());
+    }
+}

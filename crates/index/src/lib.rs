@@ -28,6 +28,11 @@
 //! Measured on the host, this crate *is* the reproduction's CPU baseline
 //! (substituting for Faiss/ScaNN binaries; see DESIGN.md).
 //!
+//! The batched scanner and the sharded index also implement the shared
+//! `anna_engine::SearchEngine` trait (see [`engines`]), so the serving
+//! layer and benches can plan, price, execute, and verify against either
+//! without naming the concrete type.
+//!
 //! # Example
 //!
 //! ```
@@ -51,6 +56,7 @@
 #![deny(missing_docs)]
 
 pub mod batched;
+pub mod engines;
 pub mod io;
 pub mod ivf;
 pub mod kernels;

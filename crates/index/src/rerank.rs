@@ -20,7 +20,7 @@ use crate::batched::BatchedScan;
 use crate::ivf::IvfPqIndex;
 use crate::parallel::BatchExec;
 use crate::SearchParams;
-use anna_plan::{PlanParams, RerankPolicy, TrafficModel, TrafficReport, CLUSTER_META_BYTES};
+use anna_plan::{PlanParams, RerankPolicy, TrafficModel, TrafficReport};
 use anna_telemetry::Telemetry;
 use anna_vector::{exact, VectorSet};
 
@@ -87,12 +87,11 @@ impl RerankController {
                 let predicted = model.price(&workload, &plan);
                 let (results, stats) =
                     scan.run_plan(sample, &first, &plan, exec.resolved_threads(), &tel);
-                let traffic_match = stats.code_bytes == predicted.code_bytes
-                    && stats.clusters_fetched * CLUSTER_META_BYTES == predicted.cluster_meta_bytes
-                    && stats.topk_spill_bytes == predicted.topk_spill_bytes
-                    && stats.topk_fill_bytes == predicted.topk_fill_bytes
-                    && stats.rerank_candidate_bytes == predicted.rerank_candidate_bytes
-                    && stats.rerank_vector_bytes == predicted.rerank_vector_bytes;
+                let traffic_match = anna_testkit::traffic_match(
+                    "rerank calibration",
+                    &stats.to_measured().components(&predicted),
+                )
+                .is_ok();
                 let mut found = 0usize;
                 let mut total = 0usize;
                 for (gt, res) in truth.iter().zip(&results) {

@@ -35,7 +35,8 @@ use crate::lut::Lut;
 use crate::tiered::TieredIndex;
 use crate::SearchParams;
 use anna_plan::{
-    BatchPlan, BatchWorkload, PlanParams, SearchShape, TierTraffic, TrafficModel, TrafficReport,
+    BatchPlan, BatchWorkload, PlanParams, SearchShape, ShardedBatchPlan, TierTraffic, TrafficModel,
+    TrafficReport,
 };
 use anna_quant::codes::CodeWidth;
 use anna_quant::kmeans::KMeans;
@@ -334,14 +335,24 @@ impl ShardedIndex {
     /// order (the same inversion [`crate::BatchedScan::plan`] builds,
     /// split by shard).
     fn shard_visitors(&self, queries: &VectorSet, nprobe: usize) -> Vec<Vec<Vec<usize>>> {
+        let scopes: Vec<Vec<usize>> = queries
+            .iter()
+            .map(|q| self.filter_clusters(q, nprobe))
+            .collect();
+        self.shard_visitors_from(&scopes)
+    }
+
+    /// The same inversion from already-resolved per-query global cluster
+    /// lists (the engine layer's `query_scope` output).
+    fn shard_visitors_from(&self, scopes: &[Vec<usize>]) -> Vec<Vec<Vec<usize>>> {
         let n = self.shards.len();
         let mut visiting: Vec<Vec<Vec<usize>>> = self
             .shards
             .iter()
             .map(|sh| vec![Vec::new(); sh.num_clusters()])
             .collect();
-        for (qi, q) in queries.iter().enumerate() {
-            for g in self.filter_clusters(q, nprobe) {
+        for (qi, scope) in scopes.iter().enumerate() {
+            for &g in scope {
                 visiting[g % n][g / n].push(qi);
             }
         }
@@ -367,12 +378,35 @@ impl ShardedIndex {
     /// Panics if `queries.dim() != self.dim()`.
     pub fn price_batch(&self, queries: &VectorSet, params: &SearchParams) -> ShardedPrediction {
         assert_eq!(queries.dim(), self.dim, "query dimension mismatch");
-        let unit = self.spill_unit(params);
+        let scopes: Vec<Vec<usize>> = queries
+            .iter()
+            .map(|q| self.filter_clusters(q, params.nprobe))
+            .collect();
+        let plan = self.engine_batch_plan(&scopes, params.k, params.nprobe);
+        let traffic = TrafficModel::new(PlanParams::default()).price_sharded(&plan);
+        ShardedPrediction {
+            traffic,
+            tier: plan.predicted_tier,
+        }
+    }
+
+    /// Assembles the sharded engine's plan IR from resolved per-query
+    /// global cluster lists: per shard, the local workload and unbounded
+    /// cluster-major schedule; globally, the cross-shard merge units and
+    /// the tier split replayed against *clones* of each tiered shard's
+    /// live cache state (so planning never advances the caches).
+    /// [`TrafficModel::price_sharded`] over the result reproduces the
+    /// [`ShardedIndex::price_batch`] prediction exactly.
+    pub(crate) fn engine_batch_plan(
+        &self,
+        scopes: &[Vec<usize>],
+        k: usize,
+        nprobe: usize,
+    ) -> ShardedBatchPlan {
+        let unit = k as u64 * PlanParams::default().topk_record_bytes as u64;
         let model = TrafficModel::new(PlanParams::default());
-        let visiting = self.shard_visitors(queries, params.nprobe);
-        let b = queries.len();
-        let mut traffic = TrafficReport::default();
-        let mut tier = TierTraffic::default();
+        let visiting = self.shard_visitors_from(scopes);
+        let b = scopes.len();
         let mut contributing = vec![0u64; b];
         for sv in &visiting {
             let mut seen = vec![false; b];
@@ -386,6 +420,8 @@ impl ShardedIndex {
             }
         }
         let merge_units: u64 = contributing.iter().map(|c| c.saturating_sub(1)).sum();
+        let mut per_shard = Vec::with_capacity(self.shards.len());
+        let mut predicted_tier = TierTraffic::default();
         for (s, sh) in self.shards.iter().enumerate() {
             let local_sizes: Vec<usize> = (0..sh.num_clusters())
                 .map(|lc| sh.cluster_len(lc))
@@ -403,32 +439,28 @@ impl ShardedIndex {
                     kstar: self.codebook.kstar(),
                     metric: self.metric,
                     num_clusters: sh.num_clusters(),
-                    k: params.k,
+                    k,
                 },
                 cluster_sizes: local_sizes.clone(),
                 visits,
             };
             let plan = BatchPlan::from_visitors(&visiting[s], &local_sizes, 0, unit);
-            let (report, shard_tier) = match sh {
-                ShardStore::Tiered(t) => {
-                    let mut sim = t.cache_sim();
-                    model.price_tiered(&workload, &plan, &mut sim)
-                }
-                ShardStore::Ram(_) => (model.price(&workload, &plan), TierTraffic::default()),
-            };
-            traffic.centroid_bytes += report.centroid_bytes;
-            traffic.cluster_meta_bytes += report.cluster_meta_bytes;
-            traffic.code_bytes += report.code_bytes;
-            traffic.topk_spill_bytes += report.topk_spill_bytes;
-            traffic.topk_fill_bytes += report.topk_fill_bytes;
-            traffic.query_list_bytes += report.query_list_bytes;
-            tier.accumulate(&shard_tier);
+            if let ShardStore::Tiered(t) = sh {
+                let mut sim = t.cache_sim();
+                let (_, shard_tier) = model.price_tiered(&workload, &plan, &mut sim);
+                predicted_tier.accumulate(&shard_tier);
+            }
+            per_shard.push((workload, plan));
         }
-        traffic.topk_spill_bytes += merge_units * unit;
-        traffic.topk_fill_bytes += merge_units * unit;
-        traffic.result_bytes =
-            (b * params.k) as u64 * PlanParams::default().topk_record_bytes as u64;
-        ShardedPrediction { traffic, tier }
+        ShardedBatchPlan {
+            per_shard,
+            merge_units,
+            spill_unit_bytes: unit,
+            b,
+            k,
+            nprobe,
+            predicted_tier,
+        }
     }
 
     /// Searches a batch shard-parallel: global filtering, per-shard

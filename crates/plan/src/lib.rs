@@ -26,6 +26,12 @@
 //!   for the over-fetch + re-rank pipeline, carried on the plan so its
 //!   traffic (candidate records, vector fetches, rescore results) is
 //!   priced exactly like every first-pass component.
+//! * [`EnginePlan`] — the engine-tagged union of plan families
+//!   (cluster-major, sharded, graph) that the `SearchEngine` pipeline in
+//!   `anna-engine` hands from `plan()` to `price()`;
+//!   [`TrafficModel::price_engine`] prices any family into the same
+//!   [`TrafficReport`] vocabulary (graph adjacency fetches land in
+//!   `cluster_meta_bytes`, PQ neighbor scans in `code_bytes`).
 //! * [`TrafficModel`] — prices any [`BatchPlan`] in bytes (codes fetched,
 //!   metadata, query lists, top-k spill/fill, re-rank candidates/vectors,
 //!   results) *before* execution. The workspace's headline invariant is that this predicted
@@ -40,6 +46,7 @@
 #![deny(missing_docs)]
 
 mod cache;
+mod engine_plan;
 mod plan;
 mod rerank;
 mod shape;
@@ -48,6 +55,10 @@ mod traffic;
 mod workload;
 
 pub use cache::{ClusterCacheSim, FetchOutcome, TierTraffic};
+pub use engine_plan::{
+    EnginePlan, GraphPlan, GraphQueryPlan, GraphShape, GraphWorkload, ShardedBatchPlan,
+    ADJACENCY_ID_BYTES,
+};
 pub use plan::{plan, BatchPlan, PlanParams, Round, ScmAllocation};
 pub use rerank::{RerankMode, RerankPolicy, RerankPrecision, RerankQuery, RerankStage};
 pub use shape::TileShaper;

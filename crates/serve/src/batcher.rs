@@ -12,9 +12,9 @@
 //!    (virtual) server is free — a batch the worker pool cannot accept is
 //!    not closed, which is what lets the queue exert backpressure.
 //! 3. **Shape pricing** — at close, candidate batch shapes (prefixes of
-//!    the FIFO queue) are priced in bytes with the
-//!    [`anna_plan::TrafficModel`] over the *exact* shaped
-//!    [`BatchPlan`] each shape would execute; the shape with the lowest
+//!    the FIFO queue) are planned and priced in bytes through the
+//!    engine-agnostic [`SearchEngine`] pipeline — the *exact* tagged
+//!    [`EnginePlan`] each shape would execute; the shape with the lowest
 //!    predicted bytes per query wins (ties prefer the larger batch).
 //! 4. **Deadline filter** — requests the predicted completion time
 //!    (`close + predicted_service`) would already put past their deadline
@@ -32,11 +32,8 @@
 use std::collections::VecDeque;
 
 use crate::request::Request;
-use anna_index::IvfPqIndex;
-use anna_plan::{
-    BatchPlan, BatchWorkload, ClusterCacheSim, PlanParams, RerankPolicy, SearchShape, TierTraffic,
-    TileShaper, TrafficModel, TrafficReport,
-};
+use anna_engine::{PlanOptions, QuerySpec, SearchEngine};
+use anna_plan::{ClusterCacheSim, EnginePlan, RerankPolicy, TierTraffic, TrafficReport};
 use anna_vector::VectorSet;
 
 /// Two-tier pricing for serving over a tiered (disk-backed) index.
@@ -140,8 +137,8 @@ pub struct PlannedBatch {
     /// `policy.k_first(k_exec)` under a two-phase config, `k_exec`
     /// otherwise.
     pub k_scan: usize,
-    /// The exact shaped plan the engine will execute.
-    pub plan: BatchPlan,
+    /// The exact engine-tagged plan the engine will execute.
+    pub plan: EnginePlan,
     /// The TrafficModel's byte-exact prediction for `plan` — the
     /// executor asserts the measured bytes equal this, component for
     /// component.
@@ -198,11 +195,9 @@ impl BatchSchedule {
     }
 }
 
-/// Prices one prefix of the queue: workload, shaped plan, prediction.
+/// Prices one prefix of the queue: engine plan plus prediction.
 struct PrefixPricing {
-    k_exec: usize,
-    k_scan: usize,
-    plan: BatchPlan,
+    plan: EnginePlan,
     predicted: TrafficReport,
     /// Tier split of the prediction (tiered configs only).
     predicted_tier: Option<TierTraffic>,
@@ -212,12 +207,11 @@ struct PrefixPricing {
 }
 
 struct Composer<'a> {
-    index: &'a IvfPqIndex,
+    engine: &'a dyn SearchEngine,
     queries: &'a VectorSet,
     trace: &'a [Request],
     cfg: &'a ServeConfig,
-    cluster_sizes: Vec<usize>,
-    /// Per-trace-index visited-cluster list, computed once on first use.
+    /// Per-trace-index resolved search scope, computed once on first use.
     visit_cache: Vec<Option<Vec<usize>>>,
     /// Evolving cluster-cache state under a tiered config: candidate
     /// pricings clone it, committed batches advance it.
@@ -225,84 +219,52 @@ struct Composer<'a> {
 }
 
 impl<'a> Composer<'a> {
+    fn spec(&self, idx: usize) -> QuerySpec {
+        let r = &self.trace[idx];
+        QuerySpec {
+            k: r.k,
+            scope: r.nprobe,
+        }
+    }
+
     fn visits(&mut self, idx: usize) -> &Vec<usize> {
         if self.visit_cache[idx].is_none() {
             let r = &self.trace[idx];
             self.visit_cache[idx] = Some(
-                self.index
-                    .filter_clusters(self.queries.row(r.query_row), r.nprobe),
+                self.engine
+                    .query_scope(self.queries.row(r.query_row), &self.spec(idx)),
             );
         }
         self.visit_cache[idx].as_ref().unwrap()
     }
 
-    fn shape(&self, k_exec: usize) -> SearchShape {
-        let book = self.index.codebook();
-        SearchShape {
-            d: self.index.dim(),
-            m: book.m(),
-            kstar: book.kstar(),
-            metric: self.index.metric(),
-            num_clusters: self.index.num_clusters(),
-            k: k_exec,
-        }
-    }
-
-    /// Builds the workload + shaped plan + traffic prediction for the
-    /// request indices `idxs` (deterministic: TileShaper and the traffic
-    /// model are pure integer functions of the workload).
-    fn price(&mut self, idxs: &[usize]) -> (BatchWorkload, PrefixPricing) {
-        let k_exec = idxs
-            .iter()
-            .map(|&i| self.trace[i].k)
-            .max()
-            .unwrap_or(1)
-            .max(1);
-        // Two-phase configs over-fetch: the engine's heaps (and therefore
-        // the workload shape and the spill unit) run at the first-pass k.
-        let k_scan = self
-            .cfg
-            .rerank
-            .map_or(k_exec, |policy| policy.k_first(k_exec));
-        let visits: Vec<Vec<usize>> = idxs.iter().map(|&i| self.visits(i).clone()).collect();
-        let workload = BatchWorkload {
-            shape: self.shape(k_scan),
-            cluster_sizes: self.cluster_sizes.clone(),
-            visits,
+    /// Builds the engine plan + traffic prediction for the request
+    /// indices `idxs` (deterministic: `SearchEngine::plan` is a pure
+    /// function of its inputs and the traffic model is pure integer
+    /// arithmetic over the plan).
+    fn price(&mut self, idxs: &[usize]) -> PrefixPricing {
+        let specs: Vec<QuerySpec> = idxs.iter().map(|&i| self.spec(i)).collect();
+        let scopes: Vec<Vec<usize>> = idxs.iter().map(|&i| self.visits(i).clone()).collect();
+        let rows: Vec<usize> = idxs.iter().map(|&i| self.trace[i].query_row).collect();
+        let batch_queries = self.queries.gather(&rows);
+        let options = PlanOptions {
+            rerank: self.cfg.rerank,
         };
-        let params = PlanParams::default();
-        let spill_unit = k_scan as u64 * params.topk_record_bytes as u64;
-        let mut plan = BatchPlan::shaped_from_visitors(
-            &workload.visitors_per_cluster(),
-            &workload.cluster_sizes,
-            workload.shape.encoded_bytes_per_vector(),
-            &TileShaper::default(),
-            spill_unit,
-        );
-        if let Some(policy) = self.cfg.rerank {
-            plan =
-                plan.with_rerank(policy.stage(&workload, k_exec, params.topk_record_bytes as u64));
-        }
-        let model = TrafficModel::new(params);
+        let plan = self.engine.plan(&batch_queries, &specs, &scopes, &options);
         let (predicted, predicted_tier, cache_after) = match &self.cache {
             Some(state) => {
                 let mut sim = state.clone();
-                let (report, tier) = model.price_tiered(&workload, &plan, &mut sim);
+                let (report, tier) = self.engine.price_tiered(&plan, &mut sim);
                 (report, Some(tier), Some(sim))
             }
-            None => (model.price(&workload, &plan), None, None),
+            None => (self.engine.price(&plan), None, None),
         };
-        (
-            workload,
-            PrefixPricing {
-                k_exec,
-                k_scan,
-                plan,
-                predicted,
-                predicted_tier,
-                cache_after,
-            },
-        )
+        PrefixPricing {
+            plan,
+            predicted,
+            predicted_tier,
+            cache_after,
+        }
     }
 
     /// Predicted service time for a priced batch: cache-tier bytes at
@@ -355,7 +317,7 @@ fn candidate_sizes(n: usize, shapes: usize) -> Vec<usize> {
 }
 
 /// Composes the deterministic batch schedule for `trace` served out of
-/// `queries` over `index` under `cfg`.
+/// `queries` over any [`SearchEngine`] under `cfg`.
 ///
 /// Arrivals must be sorted by `arrival_ns` (the generator's contract).
 /// The returned schedule is a pure function of its inputs: composing the
@@ -366,8 +328,10 @@ fn candidate_sizes(n: usize, shapes: usize) -> Vec<usize> {
 ///
 /// Panics if arrivals are unsorted, a `query_row` is out of range of
 /// `queries`, or `cfg.max_batch == 0` / `cfg.queue_capacity == 0`.
+/// Engine-specific plan constraints also apply (e.g. the graph engine
+/// rejects [`ServeConfig::rerank`]).
 pub fn compose(
-    index: &IvfPqIndex,
+    engine: &dyn SearchEngine,
     queries: &VectorSet,
     trace: &[Request],
     cfg: &ServeConfig,
@@ -375,11 +339,10 @@ pub fn compose(
     assert!(cfg.max_batch > 0, "max_batch must be positive");
     assert!(cfg.queue_capacity > 0, "queue_capacity must be positive");
     let mut composer = Composer {
-        index,
+        engine,
         queries,
         trace,
         cfg,
-        cluster_sizes: index.cluster_sizes(),
         visit_cache: vec![None; trace.len()],
         cache: cfg.tier.as_ref().map(|t| t.cache.clone()),
     };
@@ -407,7 +370,7 @@ pub fn compose(
         let mut quotes: Vec<ShapeQuote> = Vec::new();
         let mut priced: Vec<PrefixPricing> = Vec::new();
         for &size in &candidate_sizes(n_avail, composer.cfg.shape_candidates) {
-            let (_, p) = composer.price(&prefix[..size]);
+            let p = composer.price(&prefix[..size]);
             quotes.push(ShapeQuote {
                 size,
                 predicted_bytes: p.predicted.total(),
@@ -447,8 +410,7 @@ pub fn compose(
                 }
             }
             if !survivors.is_empty() {
-                let (_, p) = composer.price(&survivors);
-                pricing = p;
+                pricing = composer.price(&survivors);
                 service = composer.service_ns(&pricing.predicted, pricing.predicted_tier.as_ref());
             }
             chosen = survivors;
@@ -473,8 +435,8 @@ pub fn compose(
                 open_ns: open,
                 dispatch_ns: close,
                 requests: chosen,
-                k_exec: pricing.k_exec,
-                k_scan: pricing.k_scan,
+                k_exec: pricing.plan.k_exec(),
+                k_scan: pricing.plan.k_scan(),
                 plan: pricing.plan,
                 predicted: pricing.predicted,
                 predicted_tier: pricing.predicted_tier,

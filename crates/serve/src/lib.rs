@@ -1,6 +1,6 @@
 //! Online serving layer for the ANNA reproduction: an
 //! admission-controlled request queue with a deterministic dynamic
-//! micro-batcher in front of the cluster-major batch engine.
+//! micro-batcher in front of any `anna_engine::SearchEngine`.
 //!
 //! The paper evaluates ANNA on fixed offline batches; a deployed ANNS
 //! service receives an *open-loop stream* of heterogeneous requests (each
@@ -14,18 +14,18 @@
 //!   (backpressure), or timed out in the queue.
 //! * [`compose`] ([`batcher`]) — the deterministic micro-batcher. Windows
 //!   close on *max-wait deadline or size threshold*; at each close the
-//!   candidate batch shapes are priced byte-exactly with the
-//!   [`anna_plan::TrafficModel`] and the cheapest bytes-per-query shape is
-//!   committed as a [`PlannedBatch`]. All decisions are integer
-//!   arithmetic on a virtual clock: the same seeded arrival trace always
-//!   composes the same [`BatchSchedule`] — the property harness asserts
-//!   replay-identical batch compositions.
+//!   candidate batch shapes are planned and priced byte-exactly through
+//!   the engine's `SearchEngine` pipeline and the cheapest
+//!   bytes-per-query shape is committed as a [`PlannedBatch`]. All
+//!   decisions are integer arithmetic on a virtual clock: the same seeded
+//!   arrival trace always composes the same [`BatchSchedule`] — the
+//!   property harness asserts replay-identical batch compositions.
 //! * [`execute`] ([`server`]) — dispatches each planned batch through
-//!   [`anna_index::BatchedScan::run_plan`], checks measured traffic
-//!   against the prediction *exactly* (the workspace's standing
-//!   predicted == measured invariant), and reports end-to-end latency as
-//!   virtual queue wait plus measured service time, with p50/p95/p99 from
-//!   [`anna_telemetry::Histogram`]s.
+//!   `SearchEngine::execute`, checks measured traffic against the
+//!   prediction *exactly* via `SearchEngine::verify` (the workspace's
+//!   standing predicted == measured invariant), and reports end-to-end
+//!   latency as virtual queue wait plus measured service time, with
+//!   p50/p95/p99 from [`anna_telemetry::Histogram`]s.
 //!
 //! Two-phase serving: setting [`ServeConfig::rerank`] composes every
 //! batch as an over-fetch + re-rank pipeline — the batcher prices the

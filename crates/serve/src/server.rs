@@ -1,13 +1,13 @@
-//! Schedule execution: dispatching planned batches onto the cluster-major
-//! batch engine and accounting per-request latency.
+//! Schedule execution: dispatching planned batches onto any
+//! [`SearchEngine`] and accounting per-request latency.
 //!
 //! [`execute`] walks a [`BatchSchedule`] in dispatch order, runs each
-//! batch's exact [`anna_plan::BatchPlan`] through
-//! [`BatchedScan::run_plan`], and verifies — component for component —
-//! that the measured [`anna_index::BatchStats`] bytes equal the batcher's
-//! [`anna_plan::TrafficReport`] prediction (the workspace's standing
-//! predicted == measured invariant, extended here to every batch a
-//! serving trace dispatches). End-to-end latency composes the *virtual*
+//! batch's exact tagged [`anna_plan::EnginePlan`] through
+//! [`SearchEngine::execute`], and verifies — component for component,
+//! via [`SearchEngine::verify`] — that the measured bytes equal the
+//! batcher's [`anna_plan::TrafficReport`] prediction (the workspace's
+//! standing predicted == measured invariant, extended here to every batch
+//! a serving trace dispatches). End-to-end latency composes the *virtual*
 //! queue wait (from the deterministic schedule) with the *measured*
 //! wall-clock service time of the carrying batch, so the latency curve
 //! reflects real execution while the batch compositions stay replayable.
@@ -16,8 +16,7 @@ use std::time::Instant;
 
 use crate::batcher::BatchSchedule;
 use crate::request::{Outcome, Request};
-use anna_index::{BatchedScan, IvfPqIndex, LutPrecision, SearchParams};
-use anna_plan::{PlanParams, TrafficModel, CLUSTER_META_BYTES};
+use anna_engine::{PlanOptions, QuerySpec, SearchEngine};
 use anna_telemetry::{Histogram, Telemetry};
 use anna_vector::{Neighbor, VectorSet};
 
@@ -100,31 +99,23 @@ pub struct ServeReport {
     pub all_traffic_match: bool,
 }
 
-/// Executes `schedule` over the batch engine with `threads` workers.
+/// Executes `schedule` over any [`SearchEngine`] with `threads` workers.
 ///
-/// `trace` and `queries` must be the ones the schedule was composed from.
-/// `rerank_db` supplies the full-precision vectors for two-phase
-/// schedules (composed under [`crate::ServeConfig::rerank`]); it must be
-/// `Some` iff the schedule's plans carry a re-rank stage. Telemetry
-/// (when enabled) receives `serve.latency_ns`, `serve.queue_wait_ns`,
-/// `serve.service_ns` and `serve.batch_size` histograms plus
-/// `serve.completed` / `serve.shed` / `serve.timed_out` /
+/// `engine`, `trace`, and `queries` must be the ones the schedule was
+/// composed from (two-phase schedules need the engine built with its
+/// re-rank source, e.g. `BatchedScan::with_rerank_db` in `anna-index`).
+/// Telemetry (when enabled) receives `serve.latency_ns`,
+/// `serve.queue_wait_ns`, `serve.service_ns` and `serve.batch_size`
+/// histograms plus `serve.completed` / `serve.shed` / `serve.timed_out` /
 /// `serve.batches` counters.
-#[allow(clippy::too_many_arguments)]
 pub fn execute(
-    index: &IvfPqIndex,
+    engine: &dyn SearchEngine,
     queries: &VectorSet,
     trace: &[Request],
     schedule: &BatchSchedule,
     threads: usize,
-    lut_precision: LutPrecision,
-    rerank_db: Option<&VectorSet>,
     tel: &Telemetry,
 ) -> ServeReport {
-    let scan = match rerank_db {
-        Some(db) => BatchedScan::with_rerank_db(index, db),
-        None => BatchedScan::new(index),
-    };
     let mut outcomes: Vec<Option<Outcome>> = vec![None; trace.len()];
     let mut results: Vec<Option<Vec<Neighbor>>> = vec![None; trace.len()];
     let mut batch_reports = Vec::with_capacity(schedule.batches.len());
@@ -135,29 +126,12 @@ pub fn execute(
     for batch in &schedule.batches {
         let rows: Vec<usize> = batch.requests.iter().map(|&i| trace[i].query_row).collect();
         let batch_queries = queries.gather(&rows);
-        let params = SearchParams {
-            // The plan carries each request's own visit list; nprobe here
-            // is inert for plan execution but kept honest for debugging.
-            nprobe: batch
-                .requests
-                .iter()
-                .map(|&i| trace[i].nprobe)
-                .max()
-                .unwrap_or(1),
-            k: batch.k_scan,
-            lut_precision,
-        };
         let start = Instant::now();
-        let (answers, stats) = scan.run_plan(&batch_queries, &params, &batch.plan, threads, tel);
+        let run = engine.execute(&batch_queries, &batch.plan, threads, tel);
         let measured_service_ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let answers = run.results;
 
-        let p = &batch.predicted;
-        let traffic_match = stats.code_bytes == p.code_bytes
-            && stats.clusters_fetched * CLUSTER_META_BYTES == p.cluster_meta_bytes
-            && stats.topk_spill_bytes == p.topk_spill_bytes
-            && stats.topk_fill_bytes == p.topk_fill_bytes
-            && stats.rerank_candidate_bytes == p.rerank_candidate_bytes
-            && stats.rerank_vector_bytes == p.rerank_vector_bytes;
+        let traffic_match = engine.verify(&batch.predicted, None, &run.measured).is_ok();
         all_traffic_match &= traffic_match;
 
         for (slot, &i) in batch.requests.iter().enumerate() {
@@ -186,7 +160,7 @@ pub fn execute(
             size: batch.requests.len(),
             k_exec: batch.k_exec,
             k_scan: batch.k_scan,
-            predicted_bytes: p.total(),
+            predicted_bytes: batch.predicted.total(),
             predicted_service_ns: batch.predicted_service_ns,
             measured_service_ns,
             traffic_match,
@@ -230,29 +204,32 @@ pub fn execute(
     }
 }
 
-/// Measures the engine's service rate in TrafficModel bytes per second,
+/// Measures an engine's service rate in TrafficModel bytes per second,
 /// for configuring [`crate::ServeConfig::service_bytes_per_sec`].
 ///
-/// Runs the default shaped plan for `queries` once to warm caches, then
-/// takes the best of three timed passes (the same protocol as the CPU
-/// baseline's bandwidth probes: best-of-N rejects scheduler noise, which
-/// only ever slows a pass down).
+/// Plans a uniform batch at `spec` through the engine's own pipeline,
+/// runs it once to warm caches, then takes the best of three timed
+/// passes (the same protocol as the CPU baseline's bandwidth probes:
+/// best-of-N rejects scheduler noise, which only ever slows a pass down).
 pub fn calibrate_service_rate(
-    index: &IvfPqIndex,
+    engine: &dyn SearchEngine,
     queries: &VectorSet,
-    params: &SearchParams,
+    spec: &QuerySpec,
     threads: usize,
 ) -> u64 {
-    let scan = BatchedScan::new(index);
-    let workload = scan.workload(queries, params);
-    let plan = scan.default_plan(queries, params);
-    let predicted = TrafficModel::new(PlanParams::default()).price(&workload, &plan);
+    let specs = vec![*spec; queries.len()];
+    let scopes: Vec<Vec<usize>> = queries
+        .iter()
+        .map(|q| engine.query_scope(q, spec))
+        .collect();
+    let plan = engine.plan(queries, &specs, &scopes, &PlanOptions::default());
+    let predicted = engine.price(&plan);
     let tel = Telemetry::disabled();
-    scan.run_plan(queries, params, &plan, threads, &tel); // warm-up
+    engine.execute(queries, &plan, threads, &tel); // warm-up
     let mut best_ns = u64::MAX;
     for _ in 0..3 {
         let start = Instant::now();
-        scan.run_plan(queries, params, &plan, threads, &tel);
+        engine.execute(queries, &plan, threads, &tel);
         best_ns = best_ns.min(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
     }
     ((predicted.total() as u128 * 1_000_000_000) / best_ns.max(1) as u128)

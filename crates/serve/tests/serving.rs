@@ -4,9 +4,10 @@
 //! query-at-a-time reference.
 
 use anna_index::{
-    IvfPqConfig, IvfPqIndex, LutPrecision, RerankMode, RerankPolicy, RerankPrecision, SearchParams,
+    BatchedScan, IvfPqConfig, IvfPqIndex, LutPrecision, RerankMode, RerankPolicy, RerankPrecision,
+    SearchParams,
 };
-use anna_plan::ClusterCacheSim;
+use anna_plan::{ClusterCacheSim, EnginePlan};
 use anna_serve::{compose, execute, Admission, Outcome, Request, ServeConfig, TierPricing};
 use anna_telemetry::Telemetry;
 use anna_testkit::{forall, TestRng};
@@ -76,8 +77,8 @@ fn composition_is_replay_identical() {
         let n = rng.usize(10..60);
         let trace = arb_trace(rng, n, data.len());
         let cfg = serve_cfg(rng);
-        let a = compose(&index, &data, &trace, &cfg);
-        let b = compose(&index, &data, &trace, &cfg);
+        let a = compose(&BatchedScan::new(&index), &data, &trace, &cfg);
+        let b = compose(&BatchedScan::new(&index), &data, &trace, &cfg);
         assert_eq!(a, b, "same trace composed different schedules");
         assert_eq!(
             a.dispatched()
@@ -103,18 +104,9 @@ fn executed_batches_match_prediction_and_reference() {
         let n = rng.usize(12..40);
         let trace = arb_trace(rng, n, data.len());
         let cfg = serve_cfg(rng);
-        let schedule = compose(&index, &data, &trace, &cfg);
+        let schedule = compose(&BatchedScan::new(&index), &data, &trace, &cfg);
         let tel = Telemetry::disabled();
-        let report = execute(
-            &index,
-            &data,
-            &trace,
-            &schedule,
-            1,
-            LutPrecision::F32,
-            None,
-            &tel,
-        );
+        let report = execute(&BatchedScan::new(&index), &data, &trace, &schedule, 1, &tel);
 
         assert!(
             report.all_traffic_match,
@@ -148,16 +140,7 @@ fn executed_batches_match_prediction_and_reference() {
         }
 
         // Parallel execution answers bit-identically.
-        let report4 = execute(
-            &index,
-            &data,
-            &trace,
-            &schedule,
-            4,
-            LutPrecision::F32,
-            None,
-            &tel,
-        );
+        let report4 = execute(&BatchedScan::new(&index), &data, &trace, &schedule, 4, &tel);
         assert_eq!(report4.results, report.results, "4 threads diverged");
         assert!(report4.all_traffic_match);
     });
@@ -202,9 +185,12 @@ fn two_phase_schedule_prices_and_measures_rerank_bytes() {
             rerank: Some(policy),
             ..serve_cfg(rng)
         };
-        let schedule = compose(&index, &data, &trace, &cfg);
+        let schedule = compose(&BatchedScan::new(&index), &data, &trace, &cfg);
         for b in &schedule.batches {
-            assert!(b.plan.rerank.is_some(), "two-phase plan lost its stage");
+            let EnginePlan::ClusterMajor { plan, .. } = &b.plan else {
+                panic!("the batcher composed a non-cluster-major plan");
+            };
+            assert!(plan.rerank.is_some(), "two-phase plan lost its stage");
             assert_eq!(b.k_scan, policy.k_first(b.k_exec));
             assert!(b.predicted.rerank_vector_bytes > 0);
             assert!(b.predicted.rerank_candidate_bytes > 0);
@@ -212,13 +198,11 @@ fn two_phase_schedule_prices_and_measures_rerank_bytes() {
 
         let tel = Telemetry::disabled();
         let report = execute(
-            &index,
+            &BatchedScan::with_rerank_db(&index, &data),
             &data,
             &trace,
             &schedule,
             1,
-            LutPrecision::F32,
-            Some(&data),
             &tel,
         );
         assert!(
@@ -243,13 +227,11 @@ fn two_phase_schedule_prices_and_measures_rerank_bytes() {
         }
 
         let report4 = execute(
-            &index,
+            &BatchedScan::with_rerank_db(&index, &data),
             &data,
             &trace,
             &schedule,
             4,
-            LutPrecision::F32,
-            Some(&data),
             &tel,
         );
         assert_eq!(report4.results, report.results, "4 threads diverged");
@@ -281,7 +263,7 @@ fn overload_sheds_at_admission() {
         queue_capacity: 4,
         ..ServeConfig::default()
     };
-    let schedule = compose(&index, &data, &trace, &cfg);
+    let schedule = compose(&BatchedScan::new(&index), &data, &trace, &cfg);
     let shed: Vec<_> = schedule
         .admissions
         .iter()
@@ -318,7 +300,7 @@ fn hopeless_requests_time_out_explicitly() {
         service_bytes_per_sec: 1,
         ..ServeConfig::default()
     };
-    let schedule = compose(&index, &data, &trace, &cfg);
+    let schedule = compose(&BatchedScan::new(&index), &data, &trace, &cfg);
     assert_eq!(schedule.dispatched(), 0, "no dead request may dispatch");
     assert!(schedule
         .admissions
@@ -326,16 +308,7 @@ fn hopeless_requests_time_out_explicitly() {
         .all(|d| matches!(d, Admission::TimedOut { .. })));
 
     let tel = Telemetry::enabled();
-    let report = execute(
-        &index,
-        &data,
-        &trace,
-        &schedule,
-        1,
-        LutPrecision::F32,
-        None,
-        &tel,
-    );
+    let report = execute(&BatchedScan::new(&index), &data, &trace, &schedule, 1, &tel);
     assert_eq!(report.timed_out, 8);
     assert_eq!(report.completed, 0);
     assert_eq!(report.latency.count, 0);
@@ -368,7 +341,7 @@ fn size_threshold_closes_before_max_wait() {
         rerank: None,
         tier: None,
     };
-    let schedule = compose(&index, &data, &trace, &cfg);
+    let schedule = compose(&BatchedScan::new(&index), &data, &trace, &cfg);
     assert_eq!(schedule.batches.len(), 1);
     let b = &schedule.batches[0];
     assert_eq!(b.requests.len(), 6);
@@ -396,7 +369,7 @@ fn max_wait_bounds_a_lone_request() {
         max_wait_ns: 250_000,
         ..ServeConfig::default()
     };
-    let schedule = compose(&index, &data, &trace, &cfg);
+    let schedule = compose(&BatchedScan::new(&index), &data, &trace, &cfg);
     assert_eq!(schedule.batches.len(), 1);
     assert_eq!(schedule.batches[0].dispatch_ns, 7_000 + 250_000);
 }
@@ -408,7 +381,12 @@ fn untiered_configs_quote_no_tier_split() {
     let (data, index) = build(Metric::L2, 17);
     let mut rng = TestRng::new(0xD15C);
     let trace = arb_trace(&mut rng, 24, data.len());
-    let schedule = compose(&index, &data, &trace, &ServeConfig::default());
+    let schedule = compose(
+        &BatchedScan::new(&index),
+        &data,
+        &trace,
+        &ServeConfig::default(),
+    );
     assert!(!schedule.batches.is_empty());
     for b in &schedule.batches {
         assert!(b.predicted_tier.is_none());
@@ -432,7 +410,7 @@ fn tiered_quotes_split_code_bytes_across_tiers() {
             }),
             ..serve_cfg(rng)
         };
-        let schedule = compose(&index, &data, &trace, &cfg);
+        let schedule = compose(&BatchedScan::new(&index), &data, &trace, &cfg);
         for b in &schedule.batches {
             let tier = b.predicted_tier.expect("tiered config must quote a split");
             assert_eq!(
@@ -452,7 +430,7 @@ fn tiered_quotes_split_code_bytes_across_tiers() {
         // Tiered composition is as replayable as untiered composition.
         assert_eq!(
             schedule,
-            compose(&index, &data, &trace, &cfg),
+            compose(&BatchedScan::new(&index), &data, &trace, &cfg),
             "tiered batcher is not replayable"
         );
     });
@@ -485,8 +463,13 @@ fn cache_warming_moves_later_batches_off_the_storage_tier() {
         }),
         ..ServeConfig::default()
     };
-    let cold = compose(&index, &data, &trace, &with_capacity(0));
-    let warm = compose(&index, &data, &trace, &with_capacity(u64::MAX));
+    let cold = compose(&BatchedScan::new(&index), &data, &trace, &with_capacity(0));
+    let warm = compose(
+        &BatchedScan::new(&index),
+        &data,
+        &trace,
+        &with_capacity(u64::MAX),
+    );
     assert_eq!(cold.batches.len(), trace.len());
     assert_eq!(warm.batches.len(), trace.len());
     for (i, (c, w)) in cold.batches.iter().zip(&warm.batches).enumerate() {
@@ -531,8 +514,8 @@ fn tier_service_time_adds_the_storage_term() {
         }),
         ..base_cfg.clone()
     };
-    let plain = compose(&index, &data, &trace, &base_cfg);
-    let tiered = compose(&index, &data, &trace, &tier_cfg);
+    let plain = compose(&BatchedScan::new(&index), &data, &trace, &base_cfg);
+    let tiered = compose(&BatchedScan::new(&index), &data, &trace, &tier_cfg);
     let (p, t) = (&plain.batches[0], &tiered.batches[0]);
     assert_eq!(p.predicted, t.predicted, "pricing itself is tier-agnostic");
     let disk = t.predicted_tier.unwrap().disk_code_bytes;

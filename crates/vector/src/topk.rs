@@ -375,6 +375,59 @@ mod tests {
     }
 
     #[test]
+    fn merge_with_empty_shard_is_identity() {
+        // The sharded fold merges one selector per shard; a shard whose
+        // clusters matched nothing contributes an empty selector, which
+        // must leave the accumulator untouched — in both directions.
+        let mut acc = TopK::new(3);
+        acc.push(1, 2.0);
+        acc.push(2, 1.0);
+        let empty = TopK::new(3);
+        acc.merge(&empty);
+        let ids: Vec<u64> = acc.into_sorted_vec().iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![1, 2]);
+
+        let mut from_empty = TopK::new(3);
+        let mut full = TopK::new(3);
+        full.push(1, 2.0);
+        full.push(2, 1.0);
+        from_empty.merge(&full);
+        let ids: Vec<u64> = from_empty.into_sorted_vec().iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![1, 2]);
+    }
+
+    #[test]
+    fn merging_only_empty_shards_yields_no_results() {
+        let mut acc = TopK::new(4);
+        for _ in 0..3 {
+            acc.merge(&TopK::new(4));
+        }
+        assert!(acc.is_empty());
+        assert_eq!(acc.threshold(), f32::NEG_INFINITY);
+        assert!(acc.into_sorted_vec().is_empty());
+    }
+
+    #[test]
+    fn merge_with_k_larger_than_total_candidates_keeps_everything() {
+        // k = 10 but the shards hold only 4 candidates between them: the
+        // merged selector must keep all of them, stay under-full (so its
+        // threshold still admits anything), and sort them correctly.
+        let mut a = TopK::new(10);
+        a.push(7, 1.0);
+        a.push(3, 4.0);
+        let mut b = TopK::new(10);
+        b.push(5, 2.0);
+        b.push(9, 3.0);
+        let mut acc = TopK::new(10);
+        acc.merge(&a);
+        acc.merge(&b);
+        assert_eq!(acc.len(), 4);
+        assert_eq!(acc.threshold(), f32::NEG_INFINITY);
+        let ids: Vec<u64> = acc.into_sorted_vec().iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![3, 9, 5, 7]);
+    }
+
+    #[test]
     fn extend_accepts_neighbors() {
         let mut t = TopK::new(2);
         t.extend(vec![

@@ -11,9 +11,16 @@
 //!   baseline).
 //! * [`data`] — synthetic dataset generators, cluster-size models, ground
 //!   truth and recall.
-//! * [`plan`] — the shared cluster-major plan layer: the batch-planning
-//!   IR ([`plan::BatchPlan`]) every engine executes and the
-//!   [`plan::TrafficModel`] that prices a plan in bytes before execution.
+//! * [`plan`] — the shared plan layer: the engine-tagged plan IR
+//!   ([`plan::EnginePlan`] over [`plan::BatchPlan`] and
+//!   [`plan::GraphPlan`]) and the [`plan::TrafficModel`] that prices a
+//!   plan in bytes before execution.
+//! * [`engine`] — the engine-agnostic query-execution layer: the
+//!   [`engine::SearchEngine`] trait (`workload → plan → price → execute
+//!   → verify`) every index family implements.
+//! * [`graph`] — the beam-search proximity-graph engine
+//!   ([`graph::PqGraph`]), the second index family behind
+//!   [`engine::SearchEngine`].
 //! * [`core`] — the ANNA accelerator model: hardware modules, timing
 //!   engines, area/energy model (all consuming [`plan`]).
 //! * [`baseline`] — CPU/GPU analytical baselines and the exhaustive-search
@@ -49,6 +56,8 @@
 pub use anna_baseline as baseline;
 pub use anna_core as core;
 pub use anna_data as data;
+pub use anna_engine as engine;
+pub use anna_graph as graph;
 pub use anna_index as index;
 pub use anna_plan as plan;
 pub use anna_quant as quant;

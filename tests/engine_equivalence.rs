@@ -1,0 +1,275 @@
+//! Trait-path equivalence: routing a batch through the shared
+//! [`anna::engine::SearchEngine`] pipeline produces *bit-identical*
+//! results and traffic to each engine's legacy entry point — across
+//! metrics, code widths, and thread counts. This is the refactor's
+//! non-negotiable: the engine layer is a seam, not a semantic change.
+
+use anna::engine::{run_pipeline, PlanOptions, QuerySpec};
+use anna::index::{
+    BatchedScan, IvfPqConfig, IvfPqIndex, RerankMode, RerankPolicy, RerankPrecision, SearchParams,
+    ShardedIndex,
+};
+use anna::plan::{PlanParams, TrafficModel};
+use anna::vector::{Metric, VectorSet};
+use anna_telemetry::Telemetry;
+use anna_testkit::{forall, TestRng};
+
+/// Grep-proof for the engine layer's telemetry namespace: every counter,
+/// histogram, and span the engine-layer crates emit must use the
+/// `engine.` prefix, so dashboards can select the whole layer with one
+/// glob and no key silently lands in another layer's namespace.
+#[test]
+fn engine_layer_telemetry_keys_use_the_engine_prefix() {
+    // Built via concat! so this test file does not match itself.
+    let emitters = [
+        concat!("counter_", "add(\""),
+        concat!("record_", "ns(\""),
+        concat!("sp", "an(\""),
+    ];
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut scanned = 0usize;
+    let mut keys = 0usize;
+    let mut offenders = Vec::new();
+    for dir in ["crates/engine/src", "crates/graph/src"] {
+        let mut pending = vec![root.join(dir)];
+        while let Some(path) = pending.pop() {
+            if path.is_dir() {
+                for entry in std::fs::read_dir(&path).expect("readable source dir") {
+                    pending.push(entry.expect("dir entry").path());
+                }
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                let text = std::fs::read_to_string(&path).expect("readable source file");
+                scanned += 1;
+                for emitter in emitters {
+                    for (i, _) in text.match_indices(emitter) {
+                        let key_start = i + emitter.len();
+                        let key: String = text[key_start..]
+                            .chars()
+                            .take_while(|&c| c != '"')
+                            .collect();
+                        keys += 1;
+                        if !key.starts_with("engine.") {
+                            offenders.push(format!("{}: `{key}`", path.display()));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    assert!(scanned >= 2, "walk looks broken: only {scanned} files");
+    assert!(keys >= 8, "extraction looks broken: only {keys} keys");
+    assert!(
+        offenders.is_empty(),
+        "telemetry keys outside the engine. namespace: {offenders:?}"
+    );
+}
+
+/// Blobby data so the coarse quantizer produces unevenly sized clusters.
+fn clustered(dim: usize, n: usize, salt: usize) -> VectorSet {
+    VectorSet::from_fn(dim, n, |r, c| {
+        let blob = ((r + salt) % 9) as f32;
+        blob * 25.0 + ((r * 31 + c * 7 + salt * 13) % 11) as f32 * 0.3
+    })
+}
+
+fn build(
+    metric: Metric,
+    kstar: usize,
+    salt: usize,
+    num_clusters: usize,
+) -> (VectorSet, IvfPqIndex) {
+    let data = clustered(8, 600, salt);
+    let index = IvfPqIndex::build(
+        &data,
+        &IvfPqConfig {
+            metric,
+            num_clusters,
+            m: 4,
+            kstar,
+            coarse_iters: 3,
+            pq_iters: 2,
+            ..IvfPqConfig::default()
+        },
+    );
+    (data, index)
+}
+
+/// Single-phase IVF-PQ: the trait pipeline reproduces the legacy
+/// `workload → default_plan → price → run_plan` path byte for byte,
+/// with results and traffic bit-identical at 1/2/4/8 threads.
+#[test]
+fn ivf_pq_trait_path_is_bit_identical_across_threads() {
+    forall("ivf_pq trait equivalence", 4, |rng: &mut TestRng| {
+        let salt = rng.usize(0..1000);
+        let num_clusters = rng.usize(8..13);
+        let nprobe = rng.usize(1..6).min(num_clusters);
+        let k = rng.usize(5..40);
+        let b = rng.usize(8..25);
+        for metric in [Metric::L2, Metric::InnerProduct] {
+            for kstar in [16usize, 256] {
+                let (data, index) = build(metric, kstar, salt, num_clusters);
+                let ids: Vec<usize> = (0..b).map(|i| (i * 37 + salt) % 600).collect();
+                let queries = data.gather(&ids);
+                let params = SearchParams {
+                    nprobe,
+                    k,
+                    ..Default::default()
+                };
+                let scan = BatchedScan::new(&index);
+                let tel = Telemetry::disabled();
+
+                // Legacy path.
+                let workload = scan.workload(&queries, &params);
+                let plan = scan.default_plan(&queries, &params);
+                let predicted = TrafficModel::new(PlanParams::default()).price(&workload, &plan);
+                let (want, want_stats) = scan.run_plan(&queries, &params, &plan, 1, &tel);
+
+                // Trait path, every thread count.
+                let spec = QuerySpec { k, scope: nprobe };
+                for threads in [1usize, 2, 4, 8] {
+                    let (_, priced, run) = run_pipeline(
+                        &scan,
+                        &queries,
+                        &spec,
+                        &PlanOptions::default(),
+                        threads,
+                        &tel,
+                    )
+                    .unwrap_or_else(|e| panic!("{metric:?}/k*={kstar}/t={threads}: {e}"));
+                    assert_eq!(priced, predicted, "{metric:?}/k*={kstar} price diverged");
+                    assert_eq!(
+                        run.results, want,
+                        "{metric:?}/k*={kstar}/t={threads} results diverged"
+                    );
+                    assert_eq!(
+                        run.measured,
+                        want_stats.to_measured(),
+                        "{metric:?}/k*={kstar}/t={threads} traffic diverged"
+                    );
+                }
+            }
+        }
+    });
+}
+
+/// Two-phase IVF-PQ: the trait pipeline with a re-rank policy reproduces
+/// `two_phase_plan → run_plan` bit for bit at every thread count.
+#[test]
+fn two_phase_trait_path_is_bit_identical_across_threads() {
+    forall("two-phase trait equivalence", 4, |rng: &mut TestRng| {
+        let salt = rng.usize(0..1000);
+        let k = rng.usize(3..15);
+        let policy = RerankPolicy {
+            mode: *rng.pick(&[
+                RerankMode::Fixed(RerankPrecision::F16),
+                RerankMode::Fixed(RerankPrecision::F32),
+                RerankMode::Adaptive,
+            ]),
+            alpha: rng.usize(1..5),
+        };
+        for metric in [Metric::L2, Metric::InnerProduct] {
+            for kstar in [16usize, 256] {
+                let (data, index) = build(metric, kstar, salt, 10);
+                let queries =
+                    data.gather(&(0..12).map(|i| (i * 41 + salt) % 600).collect::<Vec<_>>());
+                let params = SearchParams {
+                    nprobe: 4,
+                    k,
+                    ..Default::default()
+                };
+                let scan = BatchedScan::with_rerank_db(&index, &data);
+                let tel = Telemetry::disabled();
+
+                let (first, plan) = scan.two_phase_plan(&queries, &params, &policy);
+                let workload = scan.workload(&queries, &first);
+                let predicted = TrafficModel::new(PlanParams::default()).price(&workload, &plan);
+                let (want, want_stats) = scan.run_plan(&queries, &first, &plan, 1, &tel);
+
+                let spec = QuerySpec {
+                    k,
+                    scope: params.nprobe,
+                };
+                let options = PlanOptions {
+                    rerank: Some(policy),
+                };
+                for threads in [1usize, 2, 4, 8] {
+                    let (_, priced, run) =
+                        run_pipeline(&scan, &queries, &spec, &options, threads, &tel)
+                            .unwrap_or_else(|e| panic!("{metric:?}/k*={kstar}/t={threads}: {e}"));
+                    assert_eq!(priced, predicted, "{metric:?}/k*={kstar} price diverged");
+                    assert_eq!(
+                        run.results, want,
+                        "{metric:?}/k*={kstar}/t={threads} results diverged"
+                    );
+                    assert_eq!(
+                        run.measured,
+                        want_stats.to_measured(),
+                        "{metric:?}/k*={kstar}/t={threads} traffic diverged"
+                    );
+                }
+            }
+        }
+    });
+}
+
+/// Sharded IVF-PQ: the trait pipeline reproduces `price_batch` +
+/// `search_batch` bit for bit — results, batch traffic, and the tier
+/// split — at every thread count.
+#[test]
+fn sharded_trait_path_is_bit_identical_across_threads() {
+    forall("sharded trait equivalence", 4, |rng: &mut TestRng| {
+        let salt = rng.usize(0..1000);
+        let shards = rng.usize(2..5);
+        let nprobe = rng.usize(2..6);
+        let k = rng.usize(4..20);
+        for metric in [Metric::L2, Metric::InnerProduct] {
+            for kstar in [16usize, 256] {
+                let (data, index) = build(metric, kstar, salt, 12);
+                let sharded = ShardedIndex::from_index(&index, shards);
+                let queries =
+                    data.gather(&(0..10).map(|i| (i * 53 + salt) % 600).collect::<Vec<_>>());
+                let params = SearchParams {
+                    nprobe,
+                    k,
+                    ..Default::default()
+                };
+                let tel = Telemetry::disabled();
+
+                let prediction = sharded.price_batch(&queries, &params);
+                let (want, want_stats) = sharded.search_batch(&queries, &params, 1).unwrap();
+
+                let spec = QuerySpec { k, scope: nprobe };
+                for threads in [1usize, 2, 4, 8] {
+                    let (plan, priced, run) = run_pipeline(
+                        &sharded,
+                        &queries,
+                        &spec,
+                        &PlanOptions::default(),
+                        threads,
+                        &tel,
+                    )
+                    .unwrap_or_else(|e| panic!("{metric:?}/k*={kstar}/t={threads}: {e}"));
+                    assert_eq!(priced, prediction.traffic, "{metric:?}/k*={kstar} price");
+                    assert_eq!(
+                        run.results, want,
+                        "{metric:?}/k*={kstar}/t={threads} results diverged"
+                    );
+                    assert_eq!(
+                        run.measured,
+                        want_stats.to_measured(),
+                        "{metric:?}/k*={kstar}/t={threads} traffic diverged"
+                    );
+                    // The tier split verifies against the plan's own
+                    // prediction too (in-RAM shards: all zeros).
+                    use anna::engine::SearchEngine;
+                    let anna::plan::EnginePlan::Sharded(sp) = &plan else {
+                        panic!("sharded engine planned a {} plan", plan.engine());
+                    };
+                    sharded
+                        .verify(&priced, Some(&sp.predicted_tier), &run.measured)
+                        .unwrap_or_else(|e| panic!("{metric:?}/k*={kstar} tier: {e}"));
+                }
+            }
+        }
+    });
+}
